@@ -1,0 +1,98 @@
+// Command wwbgen generates a synthetic study dataset and writes it as
+// JSON: the rank lists and traffic-distribution curves a downstream
+// analysis (or the wwbserve server) consumes. Generation is fully
+// deterministic in the seed.
+//
+// Usage:
+//
+//	wwbgen -scale small -seed 42 -months feb -o dataset.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"wwb/internal/chrome"
+	"wwb/internal/telemetry"
+	"wwb/internal/world"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("wwbgen: ")
+
+	var (
+		scale     = flag.String("scale", "default", "universe scale: small, default, or large")
+		seed      = flag.Uint64("seed", 42, "world generation seed")
+		months    = flag.String("months", "all", "months to assemble: all or feb")
+		out       = flag.String("o", "-", "output path (- for stdout)")
+		format    = flag.String("format", "json", "output format: json (lossless) or csv (rank lists only)")
+		threshold = flag.Int64("privacy-threshold", 50, "minimum unique clients per site per month")
+		topN      = flag.Int("topn", 10000, "rank list depth")
+	)
+	flag.Parse()
+
+	wcfg, err := worldConfig(*scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wcfg.Seed = *seed
+
+	opts := chrome.DefaultOptions()
+	opts.PrivacyThreshold = *threshold
+	opts.TopN = *topN
+	if *months == "feb" {
+		opts.Months = []world.Month{world.Feb2022}
+	} else if *months != "all" {
+		log.Fatalf("unknown -months %q (want all or feb)", *months)
+	}
+
+	log.Printf("generating %s universe (seed %d)...", *scale, *seed)
+	w := world.Generate(wcfg)
+	log.Printf("%d sites; assembling dataset...", len(w.Sites()))
+	ds := chrome.Assemble(w, telemetry.DefaultConfig(), opts)
+
+	var f *os.File
+	if *out == "-" {
+		f = os.Stdout
+	} else {
+		f, err = os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
+	switch *format {
+	case "json":
+		err = ds.Encode(f)
+	case "csv":
+		err = ds.EncodeCSV(f)
+	default:
+		log.Fatalf("unknown -format %q (want json or csv)", *format)
+	}
+	if err != nil {
+		log.Fatalf("encoding dataset: %v", err)
+	}
+	if *out != "-" {
+		fmt.Fprintf(os.Stderr, "wwbgen: wrote %s\n", *out)
+	}
+}
+
+func worldConfig(scale string) (world.Config, error) {
+	switch scale {
+	case "small":
+		return world.SmallConfig(), nil
+	case "default":
+		return world.DefaultConfig(), nil
+	case "large":
+		return world.LargeConfig(), nil
+	default:
+		return world.Config{}, fmt.Errorf("unknown -scale %q (want small, default, or large)", scale)
+	}
+}

@@ -1,0 +1,106 @@
+// Command wwbquery is the HTTP client for wwbserve: it looks up rank
+// lists, per-site popularity profiles, and experiments from a running
+// server and prints them.
+//
+// Usage:
+//
+//	wwbquery -addr 127.0.0.1:8089 -site google.com
+//	wwbquery -list US -platform android -metric time -n 20
+//	wwbquery -experiment fig1
+//	wwbquery -countries
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/url"
+	"os"
+	"time"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("wwbquery: ")
+
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8089", "wwbserve address")
+		site       = flag.String("site", "", "look up a site profile by domain")
+		list       = flag.String("list", "", "fetch a country's rank list (ISO code)")
+		platform   = flag.String("platform", "windows", "platform for -list")
+		metric     = flag.String("metric", "loads", "metric for -list")
+		n          = flag.Int("n", 20, "list depth for -list")
+		experiment = flag.String("experiment", "", "render an experiment by ID")
+		countries  = flag.Bool("countries", false, "list study countries")
+		timeout    = flag.Duration("timeout", 30*time.Second, "request timeout")
+	)
+	flag.Parse()
+
+	c := client{base: "http://" + *addr, http: &http.Client{Timeout: *timeout}}
+
+	switch {
+	case *countries:
+		c.printJSON("/v1/countries", nil)
+	case *site != "":
+		c.printJSON("/v1/site", url.Values{"domain": {*site}})
+	case *list != "":
+		c.printJSON("/v1/list", url.Values{
+			"country":  {*list},
+			"platform": {*platform},
+			"metric":   {*metric},
+			"n":        {fmt.Sprint(*n)},
+		})
+	case *experiment != "":
+		c.printText("/v1/experiment/" + url.PathEscape(*experiment))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+type client struct {
+	base string
+	http *http.Client
+}
+
+func (c client) get(path string, query url.Values) []byte {
+	u := c.base + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	resp, err := c.http.Get(u)
+	if err != nil {
+		log.Fatalf("GET %s: %v", u, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatalf("reading response: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("GET %s: %s: %s", u, resp.Status, body)
+	}
+	return body
+}
+
+// printJSON pretty-prints a JSON response.
+func (c client) printJSON(path string, query url.Values) {
+	body := c.get(path, query)
+	var v any
+	if err := json.Unmarshal(body, &v); err != nil {
+		log.Fatalf("invalid JSON from server: %v", err)
+	}
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(out))
+}
+
+// printText prints a text response as-is.
+func (c client) printText(path string) {
+	fmt.Print(string(c.get(path, nil)))
+}

@@ -1,0 +1,110 @@
+// Command wwbserve exposes an assembled study over HTTP+JSON: rank
+// lists, distribution curves, per-site popularity profiles, CrUX-style
+// public buckets, and rendered experiments. It is the "public dataset
+// access" path of the reproduction — what a researcher without the raw
+// telemetry would query.
+//
+// Endpoints:
+//
+//	GET /healthz
+//	GET /v1/countries
+//	GET /v1/list?country=US&platform=windows&metric=loads&month=2022-02&n=100
+//	GET /v1/dist?platform=windows&metric=loads&n=1000
+//	GET /v1/site?domain=google.com
+//	GET /v1/crux?country=US
+//	GET /v1/experiments
+//	GET /v1/experiment/{id}
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wwb/internal/chrome"
+	"wwb/internal/core"
+	"wwb/internal/world"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("wwbserve: ")
+
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8089", "listen address")
+		data    = flag.String("data", "", "serve a wwbgen JSON dataset instead of assembling a study (site categories and experiments unavailable)")
+		scale   = flag.String("scale", "small", "universe scale: small, default, or large")
+		seed    = flag.Uint64("seed", 42, "world generation seed")
+		febOnly = flag.Bool("feb-only", true, "assemble February only (faster startup)")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	switch *scale {
+	case "small":
+		cfg.World = world.SmallConfig()
+	case "default":
+	case "large":
+		cfg.World = world.LargeConfig()
+	default:
+		log.Fatalf("unknown -scale %q", *scale)
+	}
+	cfg.World.Seed = *seed
+	if *febOnly {
+		cfg = cfg.FebOnly()
+	}
+
+	var handler http.Handler
+	if *data != "" {
+		f, err := os.Open(*data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ds, err := chrome.Decode(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded dataset %s (%d countries); serving on http://%s", *data, len(ds.Countries), *addr)
+		handler = newDatasetServer(ds).routes()
+	} else {
+		log.Printf("assembling %s study (seed %d)...", *scale, *seed)
+		study := core.New(cfg)
+		log.Printf("study ready; serving on http://%s", *addr)
+		handler = newServer(study).routes()
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      120 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	case sig := <-stop:
+		log.Printf("received %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Fatalf("shutdown: %v", err)
+		}
+	}
+}

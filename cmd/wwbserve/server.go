@@ -1,0 +1,296 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"wwb/internal/chrome"
+	"wwb/internal/core"
+	"wwb/internal/crux"
+	"wwb/internal/endemicity"
+	"wwb/internal/experiments"
+	"wwb/internal/psl"
+	"wwb/internal/ranklist"
+	"wwb/internal/world"
+)
+
+// server wraps either a full study or a bare dataset (loaded from a
+// wwbgen file) with HTTP handlers. In dataset-only mode the endpoints
+// that need the categorisation workflow or the world model (/v1/site
+// category, /v1/experiment) are unavailable.
+type server struct {
+	study  *core.Study // nil in dataset-only mode
+	ds     *chrome.Dataset
+	month  world.Month
+	runner experiments.Runner
+	// cruxRecords are computed lazily on first request.
+	cruxOnce    sync.Once
+	cruxRecords []crux.Record
+}
+
+func newServer(s *core.Study) *server {
+	return &server{study: s, ds: s.Dataset, month: s.Month, runner: experiments.Runner{Study: s}}
+}
+
+// newDatasetServer serves a bare dataset.
+func newDatasetServer(ds *chrome.Dataset) *server {
+	return &server{ds: ds, month: ds.Opts.DistMonth}
+}
+
+// categorize labels a domain when a study is available.
+func (s *server) categorize(domain string) string {
+	if s.study == nil {
+		return ""
+	}
+	return string(s.study.Categorize(domain))
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/countries", s.handleCountries)
+	mux.HandleFunc("GET /v1/list", s.handleList)
+	mux.HandleFunc("GET /v1/dist", s.handleDist)
+	mux.HandleFunc("GET /v1/site", s.handleSite)
+	mux.HandleFunc("GET /v1/crux", s.handleCrux)
+	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	mux.HandleFunc("GET /v1/experiment/{id}", s.handleExperiment)
+	return logRequests(mux)
+}
+
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		next.ServeHTTP(w, r)
+		log.Printf("%s %s", r.Method, r.URL)
+	})
+}
+
+// writeJSON sends a JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("encoding response: %v", err)
+	}
+}
+
+// httpError sends a JSON error envelope.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *server) handleCountries(w http.ResponseWriter, _ *http.Request) {
+	type country struct {
+		Code      string `json:"code"`
+		Name      string `json:"name"`
+		Continent string `json:"continent"`
+	}
+	var out []country
+	for _, c := range world.Countries() {
+		out = append(out, country{Code: c.Code, Name: c.Name, Continent: c.Continent})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// parsePlatform maps query values to platforms.
+func parsePlatform(v string) (world.Platform, error) {
+	switch strings.ToLower(v) {
+	case "", "windows", "desktop":
+		return world.Windows, nil
+	case "android", "mobile":
+		return world.Android, nil
+	default:
+		return 0, fmt.Errorf("unknown platform %q (want windows or android)", v)
+	}
+}
+
+// parseMetric maps query values to metrics.
+func parseMetric(v string) (world.Metric, error) {
+	switch strings.ToLower(v) {
+	case "", "loads", "pageloads", "page-loads":
+		return world.PageLoads, nil
+	case "time", "timeonpage", "time-on-page":
+		return world.TimeOnPage, nil
+	default:
+		return 0, fmt.Errorf("unknown metric %q (want loads or time)", v)
+	}
+}
+
+// parseMonth maps "2021-09".."2022-02" to months; empty means the
+// study's analysis month.
+func (s *server) parseMonth(v string) (world.Month, error) {
+	if v == "" {
+		return s.month, nil
+	}
+	for _, m := range world.StudyMonths {
+		if m.String() == v {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown month %q (want 2021-09 … 2022-02)", v)
+}
+
+func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	country := strings.ToUpper(q.Get("country"))
+	if _, ok := world.CountryByCode(country); !ok {
+		httpError(w, http.StatusBadRequest, "unknown country %q", country)
+		return
+	}
+	p, err := parsePlatform(q.Get("platform"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	m, err := parseMetric(q.Get("metric"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	month, err := s.parseMonth(q.Get("month"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	n := 100
+	if raw := q.Get("n"); raw != "" {
+		n, err = strconv.Atoi(raw)
+		if err != nil || n < 1 {
+			httpError(w, http.StatusBadRequest, "invalid n %q", raw)
+			return
+		}
+	}
+	list := s.ds.List(country, p, m, month)
+	if list == nil {
+		httpError(w, http.StatusNotFound, "no list for %s/%s/%s/%s", country, p, m, month)
+		return
+	}
+	type entry struct {
+		Rank     int     `json:"rank"`
+		Domain   string  `json:"domain"`
+		Value    float64 `json:"value"`
+		Category string  `json:"category"`
+	}
+	out := make([]entry, 0, n)
+	for i, e := range list.TopN(n) {
+		out = append(out, entry{
+			Rank:     i + 1,
+			Domain:   e.Domain,
+			Value:    e.Value,
+			Category: s.categorize(e.Domain),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) handleDist(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	p, err := parsePlatform(q.Get("platform"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	m, err := parseMetric(q.Get("metric"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	curve := s.ds.Dist(p, m)
+	if curve == nil {
+		httpError(w, http.StatusNotFound, "no distribution for %s/%s", p, m)
+		return
+	}
+	n := 1000
+	if raw := q.Get("n"); raw != "" {
+		n, err = strconv.Atoi(raw)
+		if err != nil || n < 1 {
+			httpError(w, http.StatusBadRequest, "invalid n %q", raw)
+			return
+		}
+	}
+	if n > curve.Len() {
+		n = curve.Len()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"sites":  curve.Len(),
+		"shares": curve.Shares[:n],
+		"cum10":  curve.CumShare(10),
+		"cum100": curve.CumShare(100),
+		"cum10k": curve.CumShare(10000),
+		"for25":  curve.SitesForShare(0.25),
+		"for50":  curve.SitesForShare(0.50),
+	})
+}
+
+func (s *server) handleSite(w http.ResponseWriter, r *http.Request) {
+	domain := r.URL.Query().Get("domain")
+	if domain == "" {
+		httpError(w, http.StatusBadRequest, "missing domain parameter")
+		return
+	}
+	key := psl.Default.SiteKey(domain)
+	ranks := map[string]int{}
+	codes := s.ds.Countries
+	for _, c := range codes {
+		kr := ranklist.KeyRanks(s.ds.List(c, world.Windows, world.PageLoads, s.month))
+		if rank, ok := kr[key]; ok {
+			ranks[c] = rank
+		}
+	}
+	curve := endemicity.BuildCurve(key, ranks, codes)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"domain":     domain,
+		"key":        key,
+		"category":   s.categorize(domain),
+		"countries":  len(ranks),
+		"ranks":      ranks,
+		"endemicity": curve.Score(),
+		"shape":      endemicity.ClassifyShape(curve).String(),
+		"bestRank":   curve.BestRank(),
+	})
+}
+
+func (s *server) handleCrux(w http.ResponseWriter, r *http.Request) {
+	s.cruxOnce.Do(func() {
+		s.cruxRecords = crux.Export(s.ds, s.month)
+	})
+	country := strings.ToUpper(r.URL.Query().Get("country"))
+	writeJSON(w, http.StatusOK, crux.Filter(s.cruxRecords, country))
+}
+
+func (s *server) handleExperiments(w http.ResponseWriter, _ *http.Request) {
+	type exp struct {
+		ID    string `json:"id"`
+		Title string `json:"title"`
+	}
+	var out []exp
+	for _, id := range experiments.IDs() {
+		e, _ := experiments.Lookup(id)
+		out = append(out, exp{ID: e.ID, Title: e.Title})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	if s.study == nil {
+		httpError(w, http.StatusNotImplemented, "experiments need a full study; restart without -data")
+		return
+	}
+	id := r.PathValue("id")
+	out, err := s.runner.Run(id)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, out)
+}

@@ -1,0 +1,192 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"wwb/internal/core"
+)
+
+// testServer spins the handlers up once over a small February-only
+// study; the study is shared with the dataset-only mode test.
+var (
+	testStudyForDataset = core.New(core.SmallConfig().FebOnly())
+	testSrv             = httptest.NewServer(newServer(testStudyForDataset).routes())
+)
+
+func get(t *testing.T, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(testSrv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+func TestHealthz(t *testing.T) {
+	resp, body := get(t, "/healthz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Errorf("healthz: %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestCountriesEndpoint(t *testing.T) {
+	resp, body := get(t, "/v1/countries")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out []map[string]string
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 45 {
+		t.Errorf("countries = %d", len(out))
+	}
+}
+
+func TestListEndpoint(t *testing.T) {
+	resp, body := get(t, "/v1/list?country=us&platform=windows&metric=loads&n=5")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out []struct {
+		Rank     int    `json:"rank"`
+		Domain   string `json:"domain"`
+		Category string `json:"category"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 5 || out[0].Domain != "google.us" || out[0].Rank != 1 {
+		t.Errorf("unexpected list: %+v", out)
+	}
+	if out[0].Category != "Search Engines" {
+		t.Errorf("google.us category = %q", out[0].Category)
+	}
+}
+
+func TestListEndpointErrors(t *testing.T) {
+	cases := []string{
+		"/v1/list?country=XX",
+		"/v1/list?country=US&platform=ios",
+		"/v1/list?country=US&metric=clicks",
+		"/v1/list?country=US&n=-1",
+		"/v1/list?country=US&month=2020-01",
+	}
+	for _, path := range cases {
+		resp, _ := get(t, path)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestDistEndpoint(t *testing.T) {
+	resp, body := get(t, "/v1/dist?platform=windows&metric=loads&n=10")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out struct {
+		Sites  int       `json:"sites"`
+		Shares []float64 `json:"shares"`
+		For25  int       `json:"for25"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Sites < 1000 || len(out.Shares) != 10 || out.For25 < 1 {
+		t.Errorf("dist response: %+v", out)
+	}
+}
+
+func TestSiteEndpoint(t *testing.T) {
+	resp, body := get(t, "/v1/site?domain=google.com")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out struct {
+		Key        string  `json:"key"`
+		Countries  int     `json:"countries"`
+		Endemicity float64 `json:"endemicity"`
+		Shape      string  `json:"shape"`
+		BestRank   int     `json:"bestRank"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Key != "google" || out.Countries != 45 || out.BestRank != 1 {
+		t.Errorf("site response: %+v", out)
+	}
+	if out.Shape != "global-flat" {
+		t.Errorf("google shape = %q", out.Shape)
+	}
+	resp, _ = get(t, "/v1/site")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing domain: status %d", resp.StatusCode)
+	}
+}
+
+func TestCruxEndpoint(t *testing.T) {
+	resp, body := get(t, "/v1/crux?country=KR")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out []struct {
+		Domain string `json:"domain"`
+		Bucket int    `json:"bucket"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("no crux records")
+	}
+	hasNaver := false
+	for _, r := range out {
+		if r.Domain == "naver.com" && r.Bucket == 1000 {
+			hasNaver = true
+		}
+	}
+	if !hasNaver {
+		t.Error("naver.com should be a KR top-1K bucket record")
+	}
+}
+
+func TestExperimentEndpoints(t *testing.T) {
+	resp, body := get(t, "/v1/experiments")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out []struct{ ID string }
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) < 20 {
+		t.Errorf("experiments = %d", len(out))
+	}
+
+	resp, body = get(t, "/v1/experiment/fig1")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "Figure 1") {
+		t.Errorf("fig1: %d %s", resp.StatusCode, body[:min(len(body), 100)])
+	}
+	resp, _ = get(t, "/v1/experiment/fig99")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown experiment: status %d", resp.StatusCode)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

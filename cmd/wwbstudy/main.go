@@ -1,0 +1,91 @@
+// Command wwbstudy runs the full reproduction study and prints any of
+// the paper's tables and figures.
+//
+// Usage:
+//
+//	wwbstudy -experiment all            # every table and figure
+//	wwbstudy -experiment fig1,table2    # a selection
+//	wwbstudy -list                      # show experiment IDs
+//	wwbstudy -scale small -seed 7 -experiment fig10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"wwb/internal/core"
+	"wwb/internal/experiments"
+	"wwb/internal/world"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("wwbstudy: ")
+
+	var (
+		experiment = flag.String("experiment", "all", "comma-separated experiment IDs, or 'all'")
+		scale      = flag.String("scale", "default", "universe scale: small, default, or large")
+		seed       = flag.Uint64("seed", 42, "world generation seed")
+		list       = flag.Bool("list", false, "list experiment IDs and exit")
+		febOnly    = flag.Bool("feb-only", false, "assemble February only (faster; disables sec4.5)")
+		robustness = flag.Int("robustness", 0, "instead of experiments, sweep N seeds and print headline stats")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			e, _ := experiments.Lookup(id)
+			fmt.Printf("%-8s %s\n", id, e.Title)
+		}
+		return
+	}
+
+	cfg := core.DefaultConfig()
+	switch *scale {
+	case "small":
+		cfg.World = world.SmallConfig()
+	case "default":
+	case "large":
+		cfg.World = world.LargeConfig()
+	default:
+		log.Fatalf("unknown -scale %q", *scale)
+	}
+	cfg.World.Seed = *seed
+	if *febOnly {
+		cfg = cfg.FebOnly()
+	}
+
+	if *robustness > 0 {
+		seeds := make([]uint64, *robustness)
+		for i := range seeds {
+			seeds[i] = *seed + uint64(i)
+		}
+		log.Printf("sweeping %d seeds at %s scale...", *robustness, *scale)
+		fmt.Print(experiments.RenderRobustness(experiments.RobustnessSweep(cfg, seeds)))
+		return
+	}
+
+	log.Printf("running %s study (seed %d)...", *scale, *seed)
+	runner := experiments.Runner{Study: core.New(cfg)}
+
+	if *experiment == "all" {
+		fmt.Print(runner.RunAll())
+		return
+	}
+	failed := false
+	for _, id := range strings.Split(*experiment, ",") {
+		out, err := runner.Run(strings.TrimSpace(id))
+		if err != nil {
+			log.Print(err)
+			failed = true
+			continue
+		}
+		fmt.Println(out)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,37 @@
+package wwb_test
+
+import (
+	"fmt"
+
+	"wwb"
+)
+
+// ExampleCountries enumerates the study's geographic scope.
+func ExampleCountries() {
+	countries := wwb.Countries()
+	byContinent := map[string]int{}
+	for _, c := range countries {
+		byContinent[c.Continent]++
+	}
+	fmt.Println(len(countries), "countries")
+	fmt.Println("Asia:", byContinent["Asia"], "Europe:", byContinent["Europe"])
+	// Output:
+	// 45 countries
+	// Asia: 10 Europe: 10
+}
+
+// ExampleStudyMonths shows the paper's measurement window.
+func ExampleStudyMonths() {
+	months := wwb.StudyMonths()
+	fmt.Println(months[0], "…", months[len(months)-1])
+	// Output:
+	// 2021-09 … 2022-02
+}
+
+// ExampleNew shows the full pipeline; it is compile-checked but not
+// executed during tests because a study build takes several seconds.
+func ExampleNew() {
+	study := wwb.New(wwb.SmallConfig().FebOnly())
+	conc := study.Concentration(wwb.Windows, wwb.PageLoads)
+	fmt.Printf("top site captures %.0f%% of global page loads\n", 100*conc.CumShare[1])
+}

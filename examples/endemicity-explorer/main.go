@@ -1,0 +1,81 @@
+// Endemicity explorer: reproduce Section 5.1's website popularity
+// curves for chosen sites — each site's per-country ranks on the
+// inverse-log scale, its endemicity score, curve shape, and
+// global/national label.
+//
+//	go run ./examples/endemicity-explorer
+//	go run ./examples/endemicity-explorer -sites google.com,naver.com,globo.com
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"wwb"
+	"wwb/internal/endemicity"
+	"wwb/internal/ranklist"
+)
+
+func main() {
+	sites := flag.String("sites",
+		"google.com,youtube.com,naver.com,globo.com,mercadolibre.com,dcinside.com",
+		"comma-separated domains to profile")
+	flag.Parse()
+
+	fmt.Println("assembling a small study...")
+	study := wwb.New(wwb.SmallConfig().FebOnly())
+	codes := study.Dataset.Countries
+
+	// Per-country merged-key ranks from the Windows page-load lists.
+	perCountry := map[string]map[string]int{}
+	for _, c := range codes {
+		perCountry[c] = ranklist.KeyRanks(study.Dataset.List(c, wwb.Windows, wwb.PageLoads, study.Month))
+	}
+
+	// Labels come from the full endemicity pipeline.
+	res := study.Endemicity(wwb.Windows, wwb.PageLoads)
+	labelOf := map[string]endemicity.Label{}
+	for i, c := range res.Curves {
+		labelOf[c.Key] = res.Labels[i]
+	}
+
+	for _, domain := range strings.Split(*sites, ",") {
+		domain = strings.TrimSpace(domain)
+		key := strings.SplitN(domain, ".", 2)[0]
+		ranks := map[string]int{}
+		for _, c := range codes {
+			if r, ok := perCountry[c][key]; ok {
+				ranks[c] = r
+			}
+		}
+		curve := endemicity.BuildCurve(key, ranks, codes)
+		fmt.Printf("\n%s — score %.1f / %.0f max, shape %s, %s, in %d/45 top lists\n",
+			domain, curve.Score(), endemicity.MaxScore(curve.BestRank(), len(codes)),
+			endemicity.ClassifyShape(curve), labelOf[key], curve.PresentIn())
+		fmt.Printf("  curve (−log10 rank, best→worst): %s\n", sparkline(curve))
+	}
+
+	fmt.Printf("\nstudy-wide: %d sites scored, %.1f%% globally popular (paper: ≈2%%)\n",
+		len(res.Curves), 100*res.GlobalShare)
+}
+
+// sparkline renders the popularity curve with eight levels between
+// rank 1 (full block) and absent (space).
+func sparkline(c wwb.Curve) string {
+	levels := []rune(" ▁▂▃▄▅▆▇█")
+	var b strings.Builder
+	for _, y := range c.Y {
+		// y ranges from 0 (rank 1) to -log10(10001) ≈ -4 (absent).
+		t := 1 + y/4.0001 // 1 at rank 1, ~0 when absent
+		idx := int(t * float64(len(levels)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(levels) {
+			idx = len(levels) - 1
+		}
+		b.WriteRune(levels[idx])
+	}
+	return b.String()
+}

@@ -1,0 +1,46 @@
+// Platform gap: reproduce Section 4.3 — which website categories are
+// disproportionately browsed on mobile vs desktop, with Fisher's exact
+// test per country and Bonferroni correction (Figure 4).
+//
+//	go run ./examples/platform-gap
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"wwb"
+)
+
+func main() {
+	fmt.Println("assembling a small study...")
+	study := wwb.New(wwb.SmallConfig().FebOnly())
+
+	diffs := study.PlatformDiff(wwb.PageLoads, 10000)
+
+	fmt.Println("\nnormalised (Android − Windows) / max score per category")
+	fmt.Println("(+1 = entirely mobile, −1 = entirely desktop; page loads)")
+	fmt.Println()
+	for _, d := range diffs {
+		bar := renderBar(d.Score)
+		fmt.Printf("%28s %s %+.2f  (significant in %d countries)\n",
+			d.Category, bar, d.Score, d.SignificantCountries)
+	}
+
+	fmt.Println("\nreading: lifestyle/adult/gambling categories lean mobile;")
+	fmt.Println("work and school categories (education, webmail, business) lean desktop.")
+}
+
+// renderBar draws a signed bar around a centre line.
+func renderBar(score float64) string {
+	const half = 12
+	n := int(score * half)
+	left := strings.Repeat(" ", half)
+	right := strings.Repeat(" ", half)
+	if n < 0 {
+		left = strings.Repeat(" ", half+n) + strings.Repeat("█", -n)
+	} else {
+		right = strings.Repeat("█", n) + strings.Repeat(" ", half-n)
+	}
+	return left + "|" + right
+}

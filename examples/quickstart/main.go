@@ -1,0 +1,52 @@
+// Quickstart: build a small study and print the paper's headline
+// Section 4.1 numbers — how concentrated web browsing is on top sites.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"wwb"
+)
+
+func main() {
+	fmt.Println("assembling a small study (one month, ~25K sites)...")
+	study := wwb.New(wwb.SmallConfig().FebOnly())
+
+	loads := study.Concentration(wwb.Windows, wwb.PageLoads)
+	times := study.Concentration(wwb.Windows, wwb.TimeOnPage)
+
+	fmt.Printf("\nGlobal Windows traffic concentration (February 2022):\n")
+	fmt.Printf("  top site:        %5.1f%% of page loads, %5.1f%% of time\n",
+		100*loads.CumShare[1], 100*times.CumShare[1])
+	fmt.Printf("  25%% of loads is covered by %d sites; 50%% of time by %d sites\n",
+		loads.SitesFor25, times.SitesFor50)
+	fmt.Printf("  top 100 sites:   %5.1f%% of loads, %5.1f%% of time\n",
+		100*loads.CumShare[100], 100*times.CumShare[100])
+
+	fmt.Printf("\nPer-country view (median across 45 countries):\n")
+	fmt.Printf("  the #1 site captures %.0f%% of a country's page loads\n",
+		100*loads.MedianTop1)
+	for i, l := range loads.TopSiteLeaders() {
+		if i >= 3 {
+			break
+		}
+		fmt.Printf("  %s is the #1 site by loads in %d countries\n", l.Key, l.Count)
+	}
+	for i, l := range times.TopSiteLeaders() {
+		if i >= 2 {
+			break
+		}
+		fmt.Printf("  %s is the #1 site by time in %d countries\n", l.Key, l.Count)
+	}
+
+	fmt.Printf("\nWhat the web is used for (share of desktop traffic, top-10K):\n")
+	uses := study.UseCases(wwb.Windows, wwb.PageLoads, 10000)
+	for i, cat := range uses.TopCategories() {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  %-22s %5.1f%% of page loads\n", cat, 100*uses.ByWeight[cat])
+	}
+}

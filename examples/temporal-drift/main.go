@@ -1,0 +1,50 @@
+// Temporal drift: reproduce Section 4.5 — how stable rank lists are
+// month over month, and how December's holiday browsing shifts the
+// category mix (e-commerce up, education down).
+//
+// This example assembles all six study months, so it takes a little
+// longer than the others.
+//
+//	go run ./examples/temporal-drift
+package main
+
+import (
+	"fmt"
+
+	"wwb"
+	"wwb/internal/analysis"
+	"wwb/internal/taxonomy"
+)
+
+func main() {
+	fmt.Println("assembling a small study across all six months...")
+	study := wwb.New(wwb.SmallConfig())
+
+	fmt.Println("\nadjacent-month similarity of the top-100 (Windows page loads):")
+	rows := study.Temporal(wwb.Windows, wwb.PageLoads, analysis.AdjacentPairs(), []int{100})
+	for _, r := range rows {
+		marker := ""
+		if r.Pair.A == wwb.Dec2021 || r.Pair.B == wwb.Dec2021 {
+			marker = "  ← December"
+		}
+		fmt.Printf("  %s  intersection %5.1f%%  Spearman %.2f%s\n",
+			r.Pair, 100*r.MedianIntersection, r.MedianSpearman, marker)
+	}
+
+	fmt.Println("\nmedian category share of top-10K sites by month (Windows page loads):")
+	drift := study.CategoryDrift(wwb.Windows, wwb.PageLoads, 10000)
+	cats := []taxonomy.Category{taxonomy.Ecommerce, taxonomy.EducationalInstitutions, taxonomy.Education}
+	fmt.Printf("  %-26s", "category")
+	for _, m := range wwb.StudyMonths() {
+		fmt.Printf("  %s", m)
+	}
+	fmt.Println()
+	for _, cat := range cats {
+		fmt.Printf("  %-26s", cat)
+		for _, m := range wwb.StudyMonths() {
+			fmt.Printf("  %6.2f%%", 100*drift[m][cat])
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nreading: December is the anomalous month — avoid generalising from it.")
+}

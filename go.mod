@@ -1,0 +1,3 @@
+module wwb
+
+go 1.22

@@ -1,0 +1,226 @@
+// Package ablation isolates the design choices DESIGN.md calls out and
+// measures what each buys: the traffic-weighted RBO versus classic
+// geometric RBO for country clustering, the privacy threshold's effect
+// on list depth and coverage, the foreground-event down-sampling
+// rate's effect on time-metric fidelity, and the December seasonality
+// model behind the Section 4.5 anomaly.
+package ablation
+
+import (
+	"sort"
+
+	"wwb/internal/analysis"
+	"wwb/internal/chrome"
+	"wwb/internal/cluster"
+	"wwb/internal/ranklist"
+	"wwb/internal/rbo"
+	"wwb/internal/stats"
+	"wwb/internal/telemetry"
+	"wwb/internal/world"
+)
+
+// RBOVariant is one weighting scheme under comparison.
+type RBOVariant struct {
+	Name string
+	// Weight returns the weight of a 1-based rank; nil means classic
+	// geometric RBO with P.
+	Weight func(rank int) float64
+	P      float64
+}
+
+// RBOOutcome reports cluster quality for one weighting variant.
+type RBOOutcome struct {
+	Variant    string
+	Clusters   int
+	Silhouette float64
+	// MedianSim is the median pairwise similarity, showing how much
+	// dynamic range the weighting leaves for clustering.
+	MedianSim float64
+	// SpreadSim is q3 - q1 of the pairwise similarities.
+	SpreadSim float64
+}
+
+// CompareRBOVariants clusters the countries under each weighting
+// scheme: the paper's traffic-weighted RBO against classic geometric
+// RBO at two persistence values.
+func CompareRBOVariants(ds *chrome.Dataset, p world.Platform, m world.Metric, month world.Month, n int) []RBOOutcome {
+	curve := ds.Dist(p, world.PageLoads)
+	variants := []RBOVariant{
+		{Name: "traffic-weighted (paper)", Weight: curve.WeightAt},
+		{Name: "geometric p=0.9", P: 0.9},
+		{Name: "geometric p=0.999", P: 0.999},
+	}
+
+	codes := append([]string{}, ds.Countries...)
+	sort.Strings(codes)
+	keys := make([][]string, len(codes))
+	for i, c := range codes {
+		keys[i] = ranklist.MergedKeys(ds.List(c, p, m, month).TopN(n))
+	}
+
+	out := make([]RBOOutcome, 0, len(variants))
+	for _, v := range variants {
+		sim := make([][]float64, len(codes))
+		for i := range sim {
+			sim[i] = make([]float64, len(codes))
+			sim[i][i] = 1
+		}
+		var pairs []float64
+		for i := 0; i < len(codes); i++ {
+			for j := i + 1; j < len(codes); j++ {
+				var s float64
+				if v.Weight != nil {
+					s = rbo.Weighted(keys[i], keys[j], v.Weight)
+				} else {
+					s = rbo.RBO(keys[i], keys[j], v.P)
+				}
+				sim[i][j], sim[j][i] = s, s
+				pairs = append(pairs, s)
+			}
+		}
+		res := cluster.AffinityPropagation(sim, cluster.DefaultAPOptions())
+		_, avg := cluster.Silhouette(cluster.DistanceFromSimilarity(sim), res.Assignment)
+		q1, med, q3 := stats.Quartiles(pairs)
+		out = append(out, RBOOutcome{
+			Variant:    v.Name,
+			Clusters:   res.NumClusters(),
+			Silhouette: avg,
+			MedianSim:  med,
+			SpreadSim:  q3 - q1,
+		})
+	}
+	return out
+}
+
+// PrivacyOutcome reports the dataset shape at one privacy threshold.
+type PrivacyOutcome struct {
+	Threshold int64
+	// MedianListLen is the median country list length.
+	MedianListLen int
+	// MedianCoverage is the median share of a country's traffic its
+	// list captures.
+	MedianCoverage float64
+	// CountriesBelow10K counts countries whose list holds fewer than
+	// 10K sites (the paper: most of them).
+	CountriesBelow10K int
+}
+
+// SweepPrivacyThreshold re-assembles the February dataset at each
+// threshold and measures what the privacy bar costs in visibility.
+func SweepPrivacyThreshold(w *world.World, tcfg telemetry.Config, thresholds []int64) []PrivacyOutcome {
+	out := make([]PrivacyOutcome, 0, len(thresholds))
+	for _, th := range thresholds {
+		ds := chrome.Assemble(w, tcfg, chrome.Options{
+			PrivacyThreshold: th,
+			TopN:             10000,
+			DistMonth:        world.Feb2022,
+			Seed:             1,
+			Months:           []world.Month{world.Feb2022},
+		})
+		var lens, covs []float64
+		below := 0
+		for _, c := range ds.Countries {
+			l := ds.List(c, world.Windows, world.PageLoads, world.Feb2022)
+			lens = append(lens, float64(len(l)))
+			covs = append(covs, ds.Coverage(c, world.Windows, world.PageLoads, world.Feb2022))
+			if len(l) < 10000 {
+				below++
+			}
+		}
+		out = append(out, PrivacyOutcome{
+			Threshold:         th,
+			MedianListLen:     int(stats.Median(lens)),
+			MedianCoverage:    stats.Median(covs),
+			CountriesBelow10K: below,
+		})
+	}
+	return out
+}
+
+// DownsampleOutcome reports time-metric fidelity at one sampling rate.
+type DownsampleOutcome struct {
+	Rate float64
+	// Spearman is the rank correlation between the sampled time list
+	// and the ideal (loads × dwell) ordering for the US Windows cell.
+	Spearman float64
+}
+
+// SweepDownsampleRate measures how the foreground-event sampling rate
+// degrades time-on-page rank fidelity: at Chrome's 0.35 % the ranks
+// are solid for popular sites and noisy in the tail, which is why the
+// paper leans on page loads for volume modelling.
+func SweepDownsampleRate(w *world.World, tcfg telemetry.Config, rates []float64) []DownsampleOutcome {
+	// Ideal ordering: expected time weight per domain.
+	us, _ := world.CountryByCode("US")
+	weights := w.Weights("US", world.Windows, world.Feb2022)
+	ideal := map[string]float64{}
+	for _, sw := range weights {
+		ideal[sw.Site.DomainIn(us)] = sw.Time
+	}
+
+	out := make([]DownsampleOutcome, 0, len(rates))
+	for _, rate := range rates {
+		cfg := tcfg
+		cfg.DownsampleRate = rate
+		cell := telemetry.Cell{Country: "US", Platform: world.Windows, Month: world.Feb2022}
+		rng := world.NewRNG(77).Fork("ablation|downsample")
+		stats1 := telemetry.SampleCell(rng, w, cfg, cell)
+
+		var sampled, expected []float64
+		for _, s := range stats1 {
+			exp, ok := ideal[s.Domain]
+			if !ok {
+				continue
+			}
+			sampled = append(sampled, float64(s.TimeMS))
+			expected = append(expected, exp)
+		}
+		out = append(out, DownsampleOutcome{
+			Rate:     rate,
+			Spearman: stats.Spearman(sampled, expected),
+		})
+	}
+	return out
+}
+
+// SeasonalityOutcome contrasts December stability with and without the
+// holiday model.
+type SeasonalityOutcome struct {
+	Seasonality bool
+	// DecemberIntersection is the median top-100 intersection of the
+	// Nov→Dec pair; NonDecember averages the other adjacent pairs.
+	DecemberIntersection    float64
+	NonDecemberIntersection float64
+}
+
+// CompareSeasonality assembles two small universes differing only in
+// the December model and measures the Section 4.5 anomaly in each.
+func CompareSeasonality(wcfg world.Config, tcfg telemetry.Config) []SeasonalityOutcome {
+	var out []SeasonalityOutcome
+	for _, disable := range []bool{false, true} {
+		cfg := wcfg
+		cfg.DisableSeasonality = disable
+		w := world.Generate(cfg)
+		ds := chrome.Assemble(w, tcfg, chrome.Options{
+			PrivacyThreshold: 50,
+			TopN:             10000,
+			DistMonth:        world.Feb2022,
+			Seed:             1,
+		})
+		rows := analysis.AnalyzeTemporal(ds, world.Windows, world.PageLoads, analysis.AdjacentPairs(), []int{100})
+		var dec, other []float64
+		for _, r := range rows {
+			if r.Pair.A == world.Dec2021 || r.Pair.B == world.Dec2021 {
+				dec = append(dec, r.MedianIntersection)
+			} else {
+				other = append(other, r.MedianIntersection)
+			}
+		}
+		out = append(out, SeasonalityOutcome{
+			Seasonality:             !disable,
+			DecemberIntersection:    stats.Mean(dec),
+			NonDecemberIntersection: stats.Mean(other),
+		})
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package ablation
+
+import (
+	"testing"
+
+	"wwb/internal/chrome"
+	"wwb/internal/telemetry"
+	"wwb/internal/world"
+)
+
+var (
+	testWorld   = world.Generate(world.SmallConfig())
+	testDataset = chrome.Assemble(testWorld, telemetry.DefaultConfig(), chrome.Options{
+		PrivacyThreshold: 50,
+		TopN:             10000,
+		DistMonth:        world.Feb2022,
+		Seed:             1,
+		Months:           []world.Month{world.Feb2022},
+	})
+)
+
+func TestCompareRBOVariants(t *testing.T) {
+	outcomes := CompareRBOVariants(testDataset, world.Windows, world.PageLoads, world.Feb2022, 10000)
+	if len(outcomes) != 3 {
+		t.Fatalf("variants = %d", len(outcomes))
+	}
+	for _, o := range outcomes {
+		if o.Clusters < 1 || o.Clusters > 45 {
+			t.Errorf("%s: clusters = %d", o.Variant, o.Clusters)
+		}
+		if o.Silhouette < -1 || o.Silhouette > 1 {
+			t.Errorf("%s: silhouette = %v", o.Variant, o.Silhouette)
+		}
+		if o.MedianSim < 0 || o.MedianSim > 1 || o.SpreadSim < 0 {
+			t.Errorf("%s: similarity stats out of range", o.Variant)
+		}
+	}
+	// A very deep geometric weighting (p→1) weighs the long tail,
+	// where countries share little, so its similarities must be lower
+	// than the traffic-weighted head-focused variant's.
+	if outcomes[2].MedianSim >= outcomes[0].MedianSim {
+		t.Errorf("deep geometric RBO should sit lower: %v vs %v",
+			outcomes[2].MedianSim, outcomes[0].MedianSim)
+	}
+}
+
+func TestSweepPrivacyThresholdMonotone(t *testing.T) {
+	outcomes := SweepPrivacyThreshold(testWorld, telemetry.DefaultConfig(), []int64{0, 50, 2000})
+	if len(outcomes) != 3 {
+		t.Fatalf("outcomes = %d", len(outcomes))
+	}
+	for i := 1; i < len(outcomes); i++ {
+		if outcomes[i].MedianListLen > outcomes[i-1].MedianListLen {
+			t.Errorf("stricter threshold grew lists: %d -> %d",
+				outcomes[i-1].MedianListLen, outcomes[i].MedianListLen)
+		}
+		if outcomes[i].MedianCoverage > outcomes[i-1].MedianCoverage+1e-9 {
+			t.Errorf("stricter threshold grew coverage: %v -> %v",
+				outcomes[i-1].MedianCoverage, outcomes[i].MedianCoverage)
+		}
+	}
+	// At threshold 0 nothing is hidden: coverage is within rounding of
+	// complete for lists not truncated by TopN.
+	if outcomes[0].MedianCoverage < 0.9 {
+		t.Errorf("threshold-0 coverage = %v, want near 1", outcomes[0].MedianCoverage)
+	}
+}
+
+func TestSweepDownsampleRateImprovesWithRate(t *testing.T) {
+	outcomes := SweepDownsampleRate(testWorld, telemetry.DefaultConfig(), []float64{0.0005, 1})
+	if len(outcomes) != 2 {
+		t.Fatalf("outcomes = %d", len(outcomes))
+	}
+	lo, hi := outcomes[0], outcomes[1]
+	if hi.Spearman <= lo.Spearman {
+		t.Errorf("full sampling should beat sparse sampling: %v vs %v", hi.Spearman, lo.Spearman)
+	}
+	if hi.Spearman < 0.95 {
+		t.Errorf("full sampling fidelity = %v, want near 1", hi.Spearman)
+	}
+	if lo.Spearman < 0.1 {
+		t.Errorf("even sparse sampling keeps head ranks: %v", lo.Spearman)
+	}
+}
+
+func TestCompareSeasonality(t *testing.T) {
+	outcomes := CompareSeasonality(world.SmallConfig(), telemetry.DefaultConfig())
+	if len(outcomes) != 2 {
+		t.Fatalf("outcomes = %d", len(outcomes))
+	}
+	with, without := outcomes[0], outcomes[1]
+	if !with.Seasonality || without.Seasonality {
+		t.Fatal("outcome ordering wrong")
+	}
+	// With the holiday model, December pairs are less stable than the
+	// other pairs; without it, the gap (mostly) closes.
+	gapWith := with.NonDecemberIntersection - with.DecemberIntersection
+	gapWithout := without.NonDecemberIntersection - without.DecemberIntersection
+	if gapWith <= 0 {
+		t.Errorf("seasonality should destabilise December: gap %v", gapWith)
+	}
+	if gapWithout > gapWith/2 {
+		t.Errorf("disabling seasonality should shrink the December gap: with=%v without=%v",
+			gapWith, gapWithout)
+	}
+}

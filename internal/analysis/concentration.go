@@ -1,0 +1,118 @@
+// Package analysis implements the paper's per-section analyses over an
+// assembled dataset: traffic concentration (§4.1), use cases (§4.2),
+// desktop-vs-mobile differences (§4.3), metric comparison (§4.4),
+// temporal stability (§4.5), and geography (§5). Every function
+// consumes only the dataset (rank lists + distribution curves) and a
+// domain categoriser — never the world model's ground truth — so the
+// pipeline mirrors what the authors could actually observe.
+package analysis
+
+import (
+	"sort"
+
+	"wwb/internal/chrome"
+	"wwb/internal/psl"
+	"wwb/internal/stats"
+	"wwb/internal/world"
+)
+
+// Concentration summarises Section 4.1 for one platform and metric.
+type Concentration struct {
+	Platform world.Platform
+	Metric   world.Metric
+
+	// CumShare maps top-N to the global share of traffic it captures
+	// (from the distribution curves, Figure 1).
+	CumShare map[int]float64
+	// SitesFor25 and SitesFor50 are the number of sites covering 25 %
+	// and 50 % of global traffic ("six sites account for 25 % of
+	// Windows page loads"; "half of user time is spent on 7 sites").
+	SitesFor25, SitesFor50 int
+
+	// Top1Share holds each country's share of traffic captured by its
+	// top site, and MedianTop1 the median across countries (the paper:
+	// 12–33 %, median 20 %).
+	Top1Share  map[string]float64
+	MedianTop1 float64
+
+	// TopSite maps each country to the merged key of its #1 site;
+	// TopSiteCounts counts, per merged key, the countries it tops.
+	TopSite       map[string]string
+	TopSiteCounts map[string]int
+}
+
+// ConcentrationRanks are the N values reported in Figure 1 prose.
+var ConcentrationRanks = []int{1, 6, 7, 10, 100, 1000, 10000, 100000, 1000000}
+
+// AnalyzeConcentration computes the Section 4.1 numbers for one
+// platform/metric in one month.
+func AnalyzeConcentration(ds *chrome.Dataset, p world.Platform, m world.Metric, month world.Month) Concentration {
+	c := Concentration{
+		Platform:      p,
+		Metric:        m,
+		CumShare:      map[int]float64{},
+		Top1Share:     map[string]float64{},
+		TopSite:       map[string]string{},
+		TopSiteCounts: map[string]int{},
+	}
+	curve := ds.Dist(p, m)
+	if curve != nil {
+		for _, n := range ConcentrationRanks {
+			c.CumShare[n] = curve.CumShare(n)
+		}
+		c.SitesFor25 = curve.SitesForShare(0.25)
+		c.SitesFor50 = curve.SitesForShare(0.50)
+	}
+
+	var top1 []float64
+	for _, country := range ds.Countries {
+		list := ds.List(country, p, m, month)
+		if len(list) == 0 {
+			continue
+		}
+		var listTotal float64
+		for _, e := range list {
+			listTotal += e.Value
+		}
+		coverage := ds.Coverage(country, p, m, month)
+		if coverage <= 0 || listTotal == 0 {
+			continue
+		}
+		// The list covers `coverage` of the cell's true total, so the
+		// country's total traffic is listTotal / coverage.
+		share := list[0].Value / (listTotal / coverage)
+		c.Top1Share[country] = share
+		top1 = append(top1, share)
+
+		key := psl.Default.SiteKey(list[0].Domain)
+		c.TopSite[country] = key
+		c.TopSiteCounts[key]++
+	}
+	c.MedianTop1 = stats.Median(top1)
+	return c
+}
+
+// TopSiteLeaders returns the merged keys that top the most countries,
+// descending, with counts.
+func (c Concentration) TopSiteLeaders() []struct {
+	Key   string
+	Count int
+} {
+	out := make([]struct {
+		Key   string
+		Count int
+	}, 0, len(c.TopSiteCounts))
+	for k, n := range c.TopSiteCounts {
+		out = append(out, struct {
+			Key   string
+			Count int
+		}{k, n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}

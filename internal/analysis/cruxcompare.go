@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+
+	"wwb/internal/chrome"
+	"wwb/internal/crux"
+	"wwb/internal/dist"
+	"wwb/internal/taxonomy"
+	"wwb/internal/world"
+)
+
+// This file quantifies the paper's "Public Data Access" caveat
+// (Section 3.1): the public CrUX dataset only exposes rank-magnitude
+// buckets, not exact ranks or volumes. How much of the full-data
+// category analysis can a researcher replicate from the coarse public
+// view alone?
+
+// CruxCategoryShare estimates per-category traffic shares for one
+// country from bucketed records only: every site in a bucket is
+// assigned the average per-rank weight of its bucket under the
+// distribution curve — the best a bucket-level consumer can do.
+func CruxCategoryShare(records []crux.Record, country string, curve *chrome.DistCurve, categorize dist.Categorize) map[taxonomy.Category]float64 {
+	perBucket := map[int][]string{}
+	for _, r := range crux.Filter(records, country) {
+		perBucket[r.Bucket] = append(perBucket[r.Bucket], r.Domain)
+	}
+	out := map[taxonomy.Category]float64{}
+	var total float64
+	prevBound := 0
+	// Buckets ascend: the domains in bucket b occupy ranks
+	// (prevBound, b]; each gets the bucket's mean per-rank weight.
+	for _, b := range crux.Buckets {
+		domains := perBucket[b]
+		if len(domains) == 0 {
+			prevBound = b
+			continue
+		}
+		bucketMass := curve.CumShare(b) - curve.CumShare(prevBound)
+		w := bucketMass / float64(len(domains))
+		for _, d := range domains {
+			out[categorize(d)] += w
+			total += w
+		}
+		prevBound = b
+	}
+	if total == 0 {
+		return map[taxonomy.Category]float64{}
+	}
+	for c := range out {
+		out[c] /= total
+	}
+	return out
+}
+
+// CruxReplication compares, per category, the full-data weighted share
+// (the study's Figure 2 pipeline) against the bucket-only estimate.
+type CruxReplication struct {
+	Category taxonomy.Category
+	Full     float64 // mean share across countries, exact ranks
+	FromCrux float64 // mean share across countries, buckets only
+	AbsError float64
+	RelError float64 // |full - crux| / max(full, crux); 0 when both 0
+}
+
+// AnalyzeCruxReplication runs the comparison for one platform's
+// page-load lists across all countries and returns rows sorted by the
+// full-data share descending. The summary answers the paper's implicit
+// question: is the public dataset good enough for category-level work?
+func AnalyzeCruxReplication(ds *chrome.Dataset, records []crux.Record, categorize dist.Categorize, p world.Platform, month world.Month) []CruxReplication {
+	curve := ds.Dist(p, world.PageLoads)
+	var fullShares, cruxShares []map[taxonomy.Category]float64
+	for _, country := range ds.Countries {
+		list := ds.List(country, p, world.PageLoads, month)
+		if len(list) == 0 {
+			continue
+		}
+		fullShares = append(fullShares, dist.WeightedShare(list, len(list), curve, categorize))
+		cruxShares = append(cruxShares, CruxCategoryShare(records, country, curve, categorize))
+	}
+	full := dist.AverageShares(fullShares)
+	coarse := dist.AverageShares(cruxShares)
+
+	cats := map[taxonomy.Category]bool{}
+	for c := range full {
+		cats[c] = true
+	}
+	for c := range coarse {
+		cats[c] = true
+	}
+	var out []CruxReplication
+	for c := range cats {
+		f, g := full[c], coarse[c]
+		max := f
+		if g > max {
+			max = g
+		}
+		rel := 0.0
+		if max > 0 {
+			rel = math.Abs(f-g) / max
+		}
+		out = append(out, CruxReplication{
+			Category: c, Full: f, FromCrux: g,
+			AbsError: math.Abs(f - g), RelError: rel,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Full != out[j].Full {
+			return out[i].Full > out[j].Full
+		}
+		return out[i].Category < out[j].Category
+	})
+	return out
+}
+
+// MeanAbsError summarises a replication run.
+func MeanAbsError(rows []CruxReplication) float64 {
+	if len(rows) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range rows {
+		sum += r.AbsError
+	}
+	return sum / float64(len(rows))
+}

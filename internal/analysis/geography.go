@@ -1,0 +1,302 @@
+package analysis
+
+import (
+	"sort"
+
+	"wwb/internal/chrome"
+	"wwb/internal/cluster"
+	"wwb/internal/dist"
+	"wwb/internal/endemicity"
+	"wwb/internal/ranklist"
+	"wwb/internal/rbo"
+	"wwb/internal/stats"
+	"wwb/internal/taxonomy"
+	"wwb/internal/world"
+)
+
+// SimilarityMatrix is the Figure 10 heatmap: pairwise traffic-weighted
+// RBO between the countries' top-10K lists.
+type SimilarityMatrix struct {
+	Countries []string
+	Sim       [][]float64
+}
+
+// AnalyzeCountrySimilarity builds the pairwise weighted-RBO matrix for
+// one platform and metric, with rank weights drawn from the platform's
+// page-loads distribution curve (Section 5.3.1 replaces RBO's
+// geometric weights with the measured traffic distribution).
+func AnalyzeCountrySimilarity(ds *chrome.Dataset, p world.Platform, m world.Metric, month world.Month, n int) SimilarityMatrix {
+	curve := ds.Dist(p, world.PageLoads)
+	codes := append([]string{}, ds.Countries...)
+	sort.Strings(codes)
+
+	// Cross-country comparisons merge ccTLD variants first.
+	keys := make([][]string, len(codes))
+	for i, c := range codes {
+		list := ds.List(c, p, m, month).TopN(n)
+		ks := ranklist.MergedKeys(list)
+		keys[i] = ks
+	}
+	sim := make([][]float64, len(codes))
+	for i := range sim {
+		sim[i] = make([]float64, len(codes))
+		sim[i][i] = 1
+	}
+	weight := curve.WeightAt
+	for i := 0; i < len(codes); i++ {
+		for j := i + 1; j < len(codes); j++ {
+			v := rbo.Weighted(keys[i], keys[j], weight)
+			sim[i][j] = v
+			sim[j][i] = v
+		}
+	}
+	return SimilarityMatrix{Countries: codes, Sim: sim}
+}
+
+// CountryCluster is one cluster of browsing-similar countries.
+type CountryCluster struct {
+	Exemplar   string
+	Members    []string
+	Silhouette float64
+}
+
+// ClusterResult is the Figure 11 / 21 outcome.
+type ClusterResult struct {
+	Clusters []CountryCluster
+	// AvgSilhouette is the overall silhouette coefficient (the paper
+	// reports a weak 0.11 — country clusters are loose).
+	AvgSilhouette float64
+	Converged     bool
+}
+
+// AnalyzeCountryClusters runs affinity propagation on a similarity
+// matrix and validates with silhouettes.
+func AnalyzeCountryClusters(sm SimilarityMatrix) ClusterResult {
+	res := cluster.AffinityPropagation(sm.Sim, cluster.DefaultAPOptions())
+	distM := cluster.DistanceFromSimilarity(sm.Sim)
+	_, avg := cluster.Silhouette(distM, res.Assignment)
+	byCluster := cluster.SilhouetteByCluster(distM, res.Assignment)
+
+	members := map[int][]string{}
+	for i, ex := range res.Assignment {
+		members[ex] = append(members[ex], sm.Countries[i])
+	}
+	out := ClusterResult{AvgSilhouette: avg, Converged: res.Converged}
+	for _, ex := range res.Exemplars {
+		ms := members[ex]
+		sort.Strings(ms)
+		out.Clusters = append(out.Clusters, CountryCluster{
+			Exemplar:   sm.Countries[ex],
+			Members:    ms,
+			Silhouette: byCluster[ex],
+		})
+	}
+	sort.Slice(out.Clusters, func(i, j int) bool {
+		return out.Clusters[i].Exemplar < out.Clusters[j].Exemplar
+	})
+	return out
+}
+
+// EndemicityResult bundles the Section 5.1–5.2 analyses.
+type EndemicityResult struct {
+	// Curves for every site ranking in the top-EntryBar of at least
+	// one country, with per-country ranks from top-10K lists.
+	Curves []endemicity.Curve
+	// Labels[i] classifies Curves[i] (Figure 7).
+	Labels []endemicity.Label
+	// GlobalShare is the fraction labelled globally popular (the paper:
+	// ≈2 %, Table 2).
+	GlobalShare float64
+	// ShapeCounts tallies the Figure 6 / Table 1 curve shapes.
+	ShapeCounts map[endemicity.Shape]int
+	// CategoryLabelCounts counts global vs national sites per category
+	// (Figure 8).
+	CategoryLabelCounts map[taxonomy.Category]map[endemicity.Label]int
+	// EndemicToOneCountry is the fraction of entry-bar sites that
+	// appear in no other country's top-10K (the paper: 53.9 %).
+	EndemicToOneCountry float64
+}
+
+// EntryBar is the rank a site must reach in at least one country to be
+// scored (the paper computes endemicity for sites in some top 1K).
+const EntryBar = 1000
+
+// AnalyzeEndemicity runs the popularity-curve pipeline for one
+// platform and metric.
+func AnalyzeEndemicity(ds *chrome.Dataset, categorize dist.Categorize, p world.Platform, m world.Metric, month world.Month) EndemicityResult {
+	codes := append([]string{}, ds.Countries...)
+	sort.Strings(codes)
+
+	// Merged-key rank per country.
+	perCountry := make([]map[string]int, len(codes))
+	for i, c := range codes {
+		perCountry[i] = ranklist.KeyRanks(ds.List(c, p, m, month))
+	}
+
+	// Sites qualifying via the entry bar, and a representative domain
+	// for categorisation (the best-ranked domain observed).
+	qualifies := map[string]bool{}
+	repDomain := map[string]string{}
+	repRank := map[string]int{}
+	for i, c := range codes {
+		_ = c
+		for j, e := range ds.List(codes[i], p, m, month) {
+			key := pslKey(e.Domain)
+			if j < EntryBar {
+				qualifies[key] = true
+			}
+			if r, ok := repRank[key]; !ok || j+1 < r {
+				repRank[key] = j + 1
+				repDomain[key] = e.Domain
+			}
+		}
+	}
+
+	keys := make([]string, 0, len(qualifies))
+	for k := range qualifies {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	res := EndemicityResult{
+		ShapeCounts:         map[endemicity.Shape]int{},
+		CategoryLabelCounts: map[taxonomy.Category]map[endemicity.Label]int{},
+	}
+	soloCount := 0
+	for _, key := range keys {
+		ranks := map[string]int{}
+		for i, c := range codes {
+			if r, ok := perCountry[i][key]; ok {
+				ranks[c] = r
+			}
+		}
+		curve := endemicity.BuildCurve(key, ranks, codes)
+		res.Curves = append(res.Curves, curve)
+		res.ShapeCounts[endemicity.ClassifyShape(curve)]++
+		if curve.PresentIn() <= 1 {
+			soloCount++
+		}
+	}
+	if len(keys) > 0 {
+		res.EndemicToOneCountry = float64(soloCount) / float64(len(keys))
+	}
+
+	res.Labels = endemicity.Classify(res.Curves)
+	globals := 0
+	for i, curve := range res.Curves {
+		label := res.Labels[i]
+		if label == endemicity.Global {
+			globals++
+		}
+		cat := categorize(repDomain[curve.Key])
+		byLabel := res.CategoryLabelCounts[cat]
+		if byLabel == nil {
+			byLabel = map[endemicity.Label]int{}
+			res.CategoryLabelCounts[cat] = byLabel
+		}
+		byLabel[label]++
+	}
+	if len(res.Curves) > 0 {
+		res.GlobalShare = float64(globals) / float64(len(res.Curves))
+	}
+	return res
+}
+
+// GlobalShareByBucket computes Figure 9: for each rank bucket, the
+// median (across countries) share of that bucket's sites that are
+// globally popular.
+type BucketShare struct {
+	Lo, Hi         int // bucket covers ranks [Lo, Hi]
+	Median, Q1, Q3 float64
+}
+
+// RankBuckets are the Figure 9 buckets.
+var RankBuckets = [][2]int{
+	{1, 10}, {11, 20}, {21, 50}, {51, 100}, {101, 200}, {201, 500}, {501, 1000},
+}
+
+// AnalyzeGlobalShareByBucket computes, per rank bucket and country,
+// the share of globally popular sites, summarised by median and
+// quartiles.
+func AnalyzeGlobalShareByBucket(ds *chrome.Dataset, res EndemicityResult, p world.Platform, m world.Metric, month world.Month) []BucketShare {
+	globalKeys := map[string]bool{}
+	for i, c := range res.Curves {
+		if res.Labels[i] == endemicity.Global {
+			globalKeys[c.Key] = true
+		}
+	}
+	var out []BucketShare
+	for _, b := range RankBuckets {
+		var shares []float64
+		for _, country := range ds.Countries {
+			keys := ranklist.MergedKeys(ds.List(country, p, m, month))
+			if len(keys) < b[0] {
+				continue
+			}
+			hi := b[1]
+			if hi > len(keys) {
+				hi = len(keys)
+			}
+			segment := keys[b[0]-1 : hi]
+			if len(segment) == 0 {
+				continue
+			}
+			g := 0
+			for _, k := range segment {
+				if globalKeys[k] {
+					g++
+				}
+			}
+			shares = append(shares, float64(g)/float64(len(segment)))
+		}
+		q1, med, q3 := stQuartiles(shares)
+		out = append(out, BucketShare{Lo: b[0], Hi: b[1], Median: med, Q1: q1, Q3: q3})
+	}
+	return out
+}
+
+// PairwiseIntersectionCurve is Figure 12: for one rank bucket, the
+// descending-sorted cumulative sum of pairwise percent intersections
+// over all country pairs.
+type PairwiseIntersectionCurve struct {
+	Bucket int
+	// Cumulative[i] is the cumulative sum after the (i+1)-th largest
+	// pairwise intersection.
+	Cumulative []float64
+	// Mean intersection across pairs, a scalar summary.
+	Mean float64
+}
+
+// AnalyzePairwiseIntersections computes Figure 12 for the given rank
+// buckets.
+func AnalyzePairwiseIntersections(ds *chrome.Dataset, p world.Platform, m world.Metric, month world.Month, buckets []int) []PairwiseIntersectionCurve {
+	codes := append([]string{}, ds.Countries...)
+	sort.Strings(codes)
+	lists := make([][]string, len(codes))
+	for i, c := range codes {
+		lists[i] = ranklist.MergedKeys(ds.List(c, p, m, month))
+	}
+	var out []PairwiseIntersectionCurve
+	for _, bucket := range buckets {
+		var vals []float64
+		for i := 0; i < len(codes); i++ {
+			a := lists[i]
+			if len(a) > bucket {
+				a = a[:bucket]
+			}
+			for j := i + 1; j < len(codes); j++ {
+				b := lists[j]
+				if len(b) > bucket {
+					b = b[:bucket]
+				}
+				vals = append(vals, stats.PercentIntersection(a, b))
+			}
+		}
+		out = append(out, PairwiseIntersectionCurve{
+			Bucket:     bucket,
+			Cumulative: stats.CumulativeSortedDesc(vals),
+			Mean:       stats.Mean(vals),
+		})
+	}
+	return out
+}

@@ -1,0 +1,8 @@
+package analysis
+
+import "wwb/internal/psl"
+
+// pslKey merges a domain to its cross-country site key.
+func pslKey(domain string) string {
+	return psl.Default.SiteKey(domain)
+}

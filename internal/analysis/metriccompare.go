@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"sort"
+
+	"wwb/internal/chrome"
+	"wwb/internal/dist"
+	"wwb/internal/ranklist"
+	"wwb/internal/stats"
+	"wwb/internal/taxonomy"
+	"wwb/internal/world"
+)
+
+// stQuartiles is a convenience over stats.Quartiles returning
+// (q1, median, q3).
+func stQuartiles(xs []float64) (q1, med, q3 float64) {
+	q1, med, q3 = stats.Quartiles(xs)
+	return q1, med, q3
+}
+
+// MetricAgreement summarises Section 4.4: how much the page-loads and
+// time-on-page top-N lists agree within each country.
+type MetricAgreement struct {
+	Platform world.Platform
+	N        int
+	// PerCountry comparisons keyed by country code.
+	PerCountry map[string]ranklist.Comparison
+	// MedianIntersection and MedianSpearman across countries (the
+	// paper: 65 % / 0.65 desktop, 74 % / 0.69 mobile).
+	MedianIntersection float64
+	MedianSpearman     float64
+}
+
+// AnalyzeMetricAgreement compares the two metrics' lists per country.
+func AnalyzeMetricAgreement(ds *chrome.Dataset, p world.Platform, month world.Month, n int) MetricAgreement {
+	res := MetricAgreement{Platform: p, N: n, PerCountry: map[string]ranklist.Comparison{}}
+	var inter, rho []float64
+	for _, country := range ds.Countries {
+		loads := ds.List(country, p, world.PageLoads, month).TopN(n)
+		times := ds.List(country, p, world.TimeOnPage, month).TopN(n)
+		if len(loads) == 0 || len(times) == 0 {
+			continue
+		}
+		cmp := ranklist.Compare(loads, times)
+		res.PerCountry[country] = cmp
+		inter = append(inter, cmp.PercentIntersection)
+		if cmp.Common >= 2 {
+			rho = append(rho, cmp.Spearman)
+		}
+	}
+	res.MedianIntersection = stats.Median(inter)
+	res.MedianSpearman = stats.Median(rho)
+	return res
+}
+
+// LeanGroup identifies which metric a site's traffic leans toward.
+type LeanGroup int
+
+// Lean groups (Figure 5): the top 20 % of load-share : time-share
+// ratios are loads-leaning, the bottom 20 % time-leaning.
+const (
+	LeanLoads LeanGroup = iota
+	LeanTime
+	LeanNeither
+)
+
+// String implements fmt.Stringer.
+func (g LeanGroup) String() string {
+	switch g {
+	case LeanLoads:
+		return "loads-leaning"
+	case LeanTime:
+		return "time-leaning"
+	default:
+		return "other"
+	}
+}
+
+// CategoryLean is one category's prevalence within each lean group,
+// aggregated as the median share across countries (Figure 5 / 16).
+type CategoryLean struct {
+	Category taxonomy.Category
+	// Share[g] is the median, across countries, of the fraction of
+	// group-g sites that belong to this category.
+	Share map[LeanGroup]float64
+}
+
+// AnalyzeMetricLean computes Figure 5 (desktop) / Figure 16 (mobile):
+// which categories dominate loads-leaning vs time-leaning sites.
+func AnalyzeMetricLean(ds *chrome.Dataset, categorize dist.Categorize, p world.Platform, month world.Month, n int) []CategoryLean {
+	loadCurve := ds.Dist(p, world.PageLoads)
+	timeCurve := ds.Dist(p, world.TimeOnPage)
+
+	// perCountryShares[group][category] collects each country's
+	// category share within the group.
+	perCountryShares := map[LeanGroup]map[taxonomy.Category][]float64{
+		LeanLoads: {}, LeanTime: {}, LeanNeither: {},
+	}
+
+	for _, country := range ds.Countries {
+		loads := ds.List(country, p, world.PageLoads, month).TopN(n)
+		times := ds.List(country, p, world.TimeOnPage, month).TopN(n)
+		if len(loads) == 0 || len(times) == 0 {
+			continue
+		}
+		timeRank := map[string]int{}
+		for i, e := range times {
+			timeRank[e.Domain] = i + 1
+		}
+		type siteRatio struct {
+			domain string
+			ratio  float64
+		}
+		var ratios []siteRatio
+		for i, e := range loads {
+			tr, ok := timeRank[e.Domain]
+			if !ok {
+				continue
+			}
+			ls := loadCurve.WeightAt(i + 1)
+			ts := timeCurve.WeightAt(tr)
+			if ls <= 0 || ts <= 0 {
+				continue
+			}
+			ratios = append(ratios, siteRatio{e.Domain, ls / ts})
+		}
+		if len(ratios) < 5 {
+			continue
+		}
+		sort.Slice(ratios, func(i, j int) bool { return ratios[i].ratio > ratios[j].ratio })
+		cut := len(ratios) / 5
+		groupOf := func(idx int) LeanGroup {
+			switch {
+			case idx < cut:
+				return LeanLoads
+			case idx >= len(ratios)-cut:
+				return LeanTime
+			default:
+				return LeanNeither
+			}
+		}
+		counts := map[LeanGroup]map[taxonomy.Category]float64{
+			LeanLoads: {}, LeanTime: {}, LeanNeither: {},
+		}
+		totals := map[LeanGroup]float64{}
+		for i, r := range ratios {
+			g := groupOf(i)
+			counts[g][categorize(r.domain)]++
+			totals[g]++
+		}
+		for g, catCounts := range counts {
+			if totals[g] == 0 {
+				continue
+			}
+			for cat, cnt := range catCounts {
+				perCountryShares[g][cat] = append(perCountryShares[g][cat], cnt/totals[g])
+			}
+		}
+	}
+
+	// Assemble per-category medians; a country that never saw the
+	// category in a group contributes zero implicitly by padding.
+	cats := map[taxonomy.Category]bool{}
+	for _, m := range perCountryShares {
+		for c := range m {
+			cats[c] = true
+		}
+	}
+	nCountries := len(ds.Countries)
+	var out []CategoryLean
+	for cat := range cats {
+		cl := CategoryLean{Category: cat, Share: map[LeanGroup]float64{}}
+		for g, m := range perCountryShares {
+			xs := append([]float64{}, m[cat]...)
+			for len(xs) < nCountries {
+				xs = append(xs, 0)
+			}
+			cl.Share[g] = stats.Median(xs)
+		}
+		out = append(out, cl)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Category < out[j].Category })
+	return out
+}

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+
+	"wwb/internal/chrome"
+	"wwb/internal/dist"
+	"wwb/internal/stats"
+	"wwb/internal/taxonomy"
+	"wwb/internal/world"
+)
+
+// PlatformDiff is one bar of Figure 4 / 15: a category's normalised
+// desktop-vs-mobile difference with its statistical support.
+type PlatformDiff struct {
+	Category taxonomy.Category
+	// Score is (A - W) / max(A, W) over the cross-country mean
+	// weighted traffic volumes: +1 is fully mobile, -1 fully desktop.
+	Score float64
+	// SignificantCountries is how many countries individually showed a
+	// Bonferroni-corrected significant difference (the paper annotates
+	// each category with this count).
+	SignificantCountries int
+	// Countries is how many countries had data for the category.
+	Countries int
+}
+
+// pseudoCount scales weighted volume shares into integer counts for
+// Fisher's test; it represents the modelled sample size per cell.
+const pseudoCount = 200000
+
+// AnalyzePlatformDiff computes Figure 4 (metric = PageLoads) or
+// Figure 15 (metric = TimeOnPage): per-category platform skew over the
+// top-N lists, Fisher-tested per country with Bonferroni correction,
+// keeping only categories significant in at least minSignificant
+// countries.
+func AnalyzePlatformDiff(ds *chrome.Dataset, categorize dist.Categorize, m world.Metric, month world.Month, n int, alpha float64, minSignificant int) []PlatformDiff {
+	// Per-country normalised volumes per category and platform.
+	type cell map[taxonomy.Category]float64
+	androidShares := map[string]cell{}
+	windowsShares := map[string]cell{}
+	for _, country := range ds.Countries {
+		for _, p := range world.Platforms {
+			list := ds.List(country, p, m, month)
+			if len(list) == 0 {
+				continue
+			}
+			curve := ds.Dist(p, world.PageLoads)
+			share := dist.WeightedShare(list, n, curve, categorize)
+			if p == world.Android {
+				androidShares[country] = share
+			} else {
+				windowsShares[country] = share
+			}
+		}
+	}
+
+	cats := map[taxonomy.Category]bool{}
+	for _, m := range androidShares {
+		for c := range m {
+			cats[c] = true
+		}
+	}
+	for _, m := range windowsShares {
+		for c := range m {
+			cats[c] = true
+		}
+	}
+	perTest := stats.BonferroniAlpha(alpha, len(cats))
+
+	var out []PlatformDiff
+	for cat := range cats {
+		d := PlatformDiff{Category: cat}
+		var aSum, wSum float64
+		for _, country := range ds.Countries {
+			aShare, aok := androidShares[country]
+			wShare, wok := windowsShares[country]
+			if !aok || !wok {
+				continue
+			}
+			a, w := aShare[cat], wShare[cat]
+			if a == 0 && w == 0 {
+				continue
+			}
+			d.Countries++
+			aSum += a
+			wSum += w
+			// Fisher's exact test on the 2x2 table of modelled volume:
+			// (category vs rest) × (Android vs Windows).
+			p := stats.FisherExact(
+				int(a*pseudoCount), int(w*pseudoCount),
+				int((1-a)*pseudoCount), int((1-w)*pseudoCount),
+			)
+			if p < perTest {
+				d.SignificantCountries++
+			}
+		}
+		if d.Countries == 0 || d.SignificantCountries < minSignificant {
+			continue
+		}
+		d.Score = stats.ProportionDiffScore(aSum/float64(d.Countries), wSum/float64(d.Countries))
+		if math.IsNaN(d.Score) {
+			continue
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Category < out[j].Category
+	})
+	return out
+}

@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+
+	"wwb/internal/chrome"
+	"wwb/internal/dist"
+	"wwb/internal/taxonomy"
+	"wwb/internal/world"
+)
+
+// This file implements the Section 5.3.2 qualitative exploration as a
+// reproducible analysis: for any country, its top-10 roster with
+// categories and reach, how endemic its head is, and which sites
+// differentiate it from the rest of the study (the paper's South Korea
+// deep dive).
+
+// TopSiteProfile is one row of a country's top-10 inspection.
+type TopSiteProfile struct {
+	Rank     int
+	Domain   string
+	Key      string
+	Category taxonomy.Category
+	// CountriesListing is how many countries' top-10K lists carry the
+	// site; 1 means fully endemic.
+	CountriesListing int
+	// TopTenIn counts the countries where the site reaches the top 10.
+	TopTenIn int
+}
+
+// CountryProfile is the Section 5.3.2 per-country summary.
+type CountryProfile struct {
+	Country string
+	TopTen  []TopSiteProfile
+	// EndemicTopTen counts the country's top-10 sites that reach the
+	// top 10 nowhere else (South Korea's forums, Nexon, Naver...).
+	EndemicTopTen int
+	// DistinctCategories is the number of distinct categories in the
+	// top 10 — the breadth of head use cases.
+	DistinctCategories int
+}
+
+// AnalyzeCountryProfile inspects one country's top-10 the way the
+// paper's manual review did.
+func AnalyzeCountryProfile(ds *chrome.Dataset, categorize dist.Categorize, country string, p world.Platform, m world.Metric, month world.Month) CountryProfile {
+	// Precompute, for every merged key, how many countries list it and
+	// in how many it reaches top 10.
+	listing := map[string]int{}
+	topTen := map[string]int{}
+	for _, c := range ds.Countries {
+		seen := map[string]bool{}
+		for i, e := range ds.List(c, p, m, month) {
+			key := pslKey(e.Domain)
+			if !seen[key] {
+				seen[key] = true
+				listing[key]++
+				if i < 10 {
+					topTen[key]++
+				}
+			}
+		}
+	}
+
+	prof := CountryProfile{Country: country}
+	cats := map[taxonomy.Category]bool{}
+	for i, e := range ds.List(country, p, m, month).TopN(10) {
+		key := pslKey(e.Domain)
+		cat := categorize(e.Domain)
+		cats[cat] = true
+		row := TopSiteProfile{
+			Rank:             i + 1,
+			Domain:           e.Domain,
+			Key:              key,
+			Category:         cat,
+			CountriesListing: listing[key],
+			TopTenIn:         topTen[key],
+		}
+		if row.TopTenIn <= 1 {
+			prof.EndemicTopTen++
+		}
+		prof.TopTen = append(prof.TopTen, row)
+	}
+	prof.DistinctCategories = len(cats)
+	return prof
+}
+
+// EndemicHeadRanking orders countries by how endemic their top-10 is —
+// the paper's observation that South Korea stands apart because of
+// country-localised alternatives to global services.
+type EndemicHeadRank struct {
+	Country       string
+	EndemicTopTen int
+}
+
+// RankCountriesByEndemicHead profiles every country and sorts by
+// endemic-top-10 count descending (ties by code).
+func RankCountriesByEndemicHead(ds *chrome.Dataset, categorize dist.Categorize, p world.Platform, m world.Metric, month world.Month) []EndemicHeadRank {
+	out := make([]EndemicHeadRank, 0, len(ds.Countries))
+	for _, c := range ds.Countries {
+		prof := AnalyzeCountryProfile(ds, categorize, c, p, m, month)
+		out = append(out, EndemicHeadRank{Country: c, EndemicTopTen: prof.EndemicTopTen})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].EndemicTopTen != out[j].EndemicTopTen {
+			return out[i].EndemicTopTen > out[j].EndemicTopTen
+		}
+		return out[i].Country < out[j].Country
+	})
+	return out
+}
+
+// PowerLawFit summarises a distribution curve's log-log shape
+// (Figure 1 plots rank versus share on log-log axes).
+type PowerLawFit struct {
+	// Alpha is the fitted decay exponent: share(rank) ∝ rank^-Alpha
+	// over the fitted range.
+	Alpha float64
+	// R2 is the coefficient of determination of the log-log fit.
+	R2 float64
+	// FitLo and FitHi bound the fitted rank range.
+	FitLo, FitHi int
+}
+
+// FitPowerLaw fits share ∝ rank^-alpha by least squares on the log-log
+// points over ranks [lo, hi] (clamped to the curve).
+func FitPowerLaw(curve *chrome.DistCurve, lo, hi int) PowerLawFit {
+	if lo < 1 {
+		lo = 1
+	}
+	if hi > curve.Len() {
+		hi = curve.Len()
+	}
+	if hi <= lo {
+		return PowerLawFit{FitLo: lo, FitHi: hi}
+	}
+	var xs, ys []float64
+	for r := lo; r <= hi; r++ {
+		w := curve.WeightAt(r)
+		if w <= 0 {
+			continue
+		}
+		xs = append(xs, logf(float64(r)))
+		ys = append(ys, logf(w))
+	}
+	if len(xs) < 2 {
+		return PowerLawFit{FitLo: lo, FitHi: hi}
+	}
+	// Least squares slope/intercept.
+	var sx, sy, sxx, sxy float64
+	n := float64(len(xs))
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		return PowerLawFit{FitLo: lo, FitHi: hi}
+	}
+	slope := (n*sxy - sx*sy) / denom
+	intercept := (sy - slope*sx) / n
+
+	// R².
+	meanY := sy / n
+	var ssRes, ssTot float64
+	for i := range xs {
+		pred := slope*xs[i] + intercept
+		ssRes += (ys[i] - pred) * (ys[i] - pred)
+		ssTot += (ys[i] - meanY) * (ys[i] - meanY)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return PowerLawFit{Alpha: -slope, R2: r2, FitLo: lo, FitHi: hi}
+}
+
+func logf(v float64) float64 { return math.Log(v) }

@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"wwb/internal/chrome"
+	"wwb/internal/world"
+)
+
+func TestAnalyzeCountryProfileKR(t *testing.T) {
+	prof := AnalyzeCountryProfile(testDataset, trueCat, "KR", world.Windows, world.PageLoads, feb)
+	if len(prof.TopTen) != 10 {
+		t.Fatalf("top ten rows = %d", len(prof.TopTen))
+	}
+	if prof.TopTen[0].Key != "naver" {
+		t.Errorf("KR #1 = %s, want naver", prof.TopTen[0].Key)
+	}
+	// Naver tops only Korea.
+	if prof.TopTen[0].TopTenIn != 1 {
+		t.Errorf("naver top-10 in %d countries, want 1", prof.TopTen[0].TopTenIn)
+	}
+	// South Korea's head is heavily endemic (the paper's deep dive).
+	if prof.EndemicTopTen < 4 {
+		t.Errorf("KR endemic top-10 = %d, want several", prof.EndemicTopTen)
+	}
+	if prof.DistinctCategories < 3 {
+		t.Errorf("KR top-10 categories = %d", prof.DistinctCategories)
+	}
+	for _, row := range prof.TopTen {
+		if row.CountriesListing < row.TopTenIn {
+			t.Errorf("%s: listed in %d but top-10 in %d", row.Key, row.CountriesListing, row.TopTenIn)
+		}
+		if row.CountriesListing < 1 {
+			t.Errorf("%s: not listed anywhere?", row.Key)
+		}
+	}
+}
+
+func TestRankCountriesByEndemicHead(t *testing.T) {
+	ranks := RankCountriesByEndemicHead(testDataset, trueCat, world.Windows, world.PageLoads, feb)
+	if len(ranks) != 45 {
+		t.Fatalf("countries = %d", len(ranks))
+	}
+	for i := 1; i < len(ranks); i++ {
+		if ranks[i].EndemicTopTen > ranks[i-1].EndemicTopTen {
+			t.Fatal("not sorted descending")
+		}
+	}
+	// South Korea should be near the top of the endemic ranking.
+	pos := -1
+	for i, r := range ranks {
+		if r.Country == "KR" {
+			pos = i
+		}
+	}
+	if pos < 0 || pos > 10 {
+		t.Errorf("KR endemic rank position = %d, want near the top", pos)
+	}
+}
+
+func TestFitPowerLawSynthetic(t *testing.T) {
+	// Exact power law: share ∝ rank^-1.2.
+	vols := make([]float64, 2000)
+	for i := range vols {
+		vols[i] = math.Pow(float64(i+1), -1.2)
+	}
+	curve := chrome.NewDistCurve(vols)
+	fit := FitPowerLaw(curve, 1, 2000)
+	if math.Abs(fit.Alpha-1.2) > 0.01 {
+		t.Errorf("alpha = %v, want 1.2", fit.Alpha)
+	}
+	if fit.R2 < 0.999 {
+		t.Errorf("R² = %v, want ≈1", fit.R2)
+	}
+}
+
+func TestFitPowerLawEdges(t *testing.T) {
+	curve := chrome.NewDistCurve([]float64{5, 3, 1})
+	fit := FitPowerLaw(curve, 10, 5)
+	if fit.Alpha != 0 {
+		t.Errorf("degenerate range should yield zero fit, got %+v", fit)
+	}
+	fit = FitPowerLaw(curve, -5, 100)
+	if fit.FitLo != 1 || fit.FitHi != 3 {
+		t.Errorf("clamping wrong: %+v", fit)
+	}
+	empty := chrome.NewDistCurve(nil)
+	if got := FitPowerLaw(empty, 1, 10); got.Alpha != 0 {
+		t.Errorf("empty curve fit = %+v", got)
+	}
+}
+
+func TestFitPowerLawOnRealCurve(t *testing.T) {
+	curve := testDataset.Dist(world.Windows, world.PageLoads)
+	fit := FitPowerLaw(curve, 10, 10000)
+	if fit.Alpha < 0.3 || fit.Alpha > 3 {
+		t.Errorf("alpha = %v, want a plausible heavy-tail exponent", fit.Alpha)
+	}
+	if fit.R2 < 0.8 {
+		t.Errorf("R² = %v, want a good log-log fit", fit.R2)
+	}
+}

@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"sort"
+	"strconv"
+
+	"wwb/internal/chrome"
+	"wwb/internal/ranklist"
+	"wwb/internal/stats"
+	"wwb/internal/world"
+)
+
+// This file implements the paper's Section 6 methodology proposals as
+// runnable analyses: the paper *hypothesises* that "taking the global
+// top 1K together with the top 1K from each country may lead to more
+// geographically generalizable conclusions than taking simply the
+// global top 10K". Here the hypothesis is testable.
+
+// GlobalTopKeys aggregates per-country list values into one global
+// rank list of merged site keys, weighting each country's contribution
+// by its share of its own total so populous countries do not swamp the
+// aggregate beyond their traffic volume. Returns the top-n keys.
+func GlobalTopKeys(ds *chrome.Dataset, p world.Platform, m world.Metric, month world.Month, n int) []string {
+	agg := map[string]float64{}
+	for _, country := range ds.Countries {
+		list := ds.List(country, p, m, month)
+		var total float64
+		for _, e := range list {
+			total += e.Value
+		}
+		if total == 0 {
+			continue
+		}
+		for _, e := range list {
+			agg[pslKey(e.Domain)] += e.Value
+		}
+	}
+	keys := make([]string, 0, len(agg))
+	for k := range agg {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if agg[keys[i]] != agg[keys[j]] {
+			return agg[keys[i]] > agg[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	if n < len(keys) {
+		keys = keys[:n]
+	}
+	return keys
+}
+
+// RepresentativeSet is a set of merged site keys assembled by one of
+// the sampling strategies under comparison.
+type RepresentativeSet struct {
+	Name string
+	Keys map[string]struct{}
+}
+
+// Size returns the number of sites in the set.
+func (r RepresentativeSet) Size() int { return len(r.Keys) }
+
+// GlobalTopSet builds the "global top-N" strategy set.
+func GlobalTopSet(ds *chrome.Dataset, p world.Platform, m world.Metric, month world.Month, n int) RepresentativeSet {
+	set := RepresentativeSet{Name: "global top-" + strconv.Itoa(n), Keys: map[string]struct{}{}}
+	for _, k := range GlobalTopKeys(ds, p, m, month, n) {
+		set.Keys[k] = struct{}{}
+	}
+	return set
+}
+
+// UnionTopSet builds the paper's proposed strategy: the global top-nG
+// unioned with each country's top-nC.
+func UnionTopSet(ds *chrome.Dataset, p world.Platform, m world.Metric, month world.Month, nGlobal, nCountry int) RepresentativeSet {
+	set := GlobalTopSet(ds, p, m, month, nGlobal)
+	set.Name = "global top-" + strconv.Itoa(nGlobal) + " ∪ per-country top-" + strconv.Itoa(nCountry)
+	for _, country := range ds.Countries {
+		keys := ranklist.MergedKeys(ds.List(country, p, m, month))
+		if len(keys) > nCountry {
+			keys = keys[:nCountry]
+		}
+		for _, k := range keys {
+			set.Keys[k] = struct{}{}
+		}
+	}
+	return set
+}
+
+// StrategyCoverage reports how well a sampling strategy represents
+// each country: the share of the country's traffic (weighted by the
+// platform's distribution curve over its list ranks) that falls on
+// sites in the set.
+type StrategyCoverage struct {
+	Set RepresentativeSet
+	// PerCountry maps country code to weighted coverage in [0, 1].
+	PerCountry map[string]float64
+	// Median, Min and Q1 summarise geographic equity: a strategy can
+	// have a fine median but abandon its worst-served countries.
+	Median, Q1, Min float64
+}
+
+// EvaluateStrategy measures a representative set against every
+// country's traffic.
+func EvaluateStrategy(ds *chrome.Dataset, set RepresentativeSet, p world.Platform, m world.Metric, month world.Month) StrategyCoverage {
+	curve := ds.Dist(p, world.PageLoads)
+	out := StrategyCoverage{Set: set, PerCountry: map[string]float64{}}
+	var vals []float64
+	for _, country := range ds.Countries {
+		list := ds.List(country, p, m, month)
+		if len(list) == 0 {
+			continue
+		}
+		var covered, total float64
+		seen := map[string]struct{}{}
+		rank := 0
+		for _, e := range list {
+			key := pslKey(e.Domain)
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			rank++
+			w := curve.WeightAt(rank)
+			total += w
+			if _, ok := set.Keys[key]; ok {
+				covered += w
+			}
+		}
+		if total == 0 {
+			continue
+		}
+		cov := covered / total
+		out.PerCountry[country] = cov
+		vals = append(vals, cov)
+	}
+	sort.Float64s(vals)
+	if len(vals) > 0 {
+		out.Min = vals[0]
+		out.Q1 = stats.QuantileSorted(vals, 0.25)
+		out.Median = stats.QuantileSorted(vals, 0.5)
+	}
+	return out
+}
+
+// CompareStrategies runs the paper's Section 6 comparison: the global
+// top-10K versus the global top-1K unioned with per-country top-1Ks,
+// plus a plain global top-1K baseline.
+func CompareStrategies(ds *chrome.Dataset, p world.Platform, m world.Metric, month world.Month) []StrategyCoverage {
+	strategies := []RepresentativeSet{
+		GlobalTopSet(ds, p, m, month, 1000),
+		GlobalTopSet(ds, p, m, month, 10000),
+		UnionTopSet(ds, p, m, month, 1000, 1000),
+	}
+	out := make([]StrategyCoverage, 0, len(strategies))
+	for _, s := range strategies {
+		out = append(out, EvaluateStrategy(ds, s, p, m, month))
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"testing"
+
+	"wwb/internal/crux"
+	"wwb/internal/world"
+)
+
+func TestGlobalTopKeys(t *testing.T) {
+	keys := GlobalTopKeys(testDataset, world.Windows, world.PageLoads, feb, 100)
+	if len(keys) != 100 {
+		t.Fatalf("keys = %d", len(keys))
+	}
+	if keys[0] != "google" {
+		t.Errorf("global #1 = %s, want google", keys[0])
+	}
+	seen := map[string]bool{}
+	for _, k := range keys {
+		if seen[k] {
+			t.Fatalf("duplicate key %s", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestGlobalTopKeysOverLength(t *testing.T) {
+	keys := GlobalTopKeys(testDataset, world.Windows, world.PageLoads, feb, 1<<30)
+	if len(keys) < 1000 {
+		t.Errorf("full key list too short: %d", len(keys))
+	}
+}
+
+func TestStrategySets(t *testing.T) {
+	g1 := GlobalTopSet(testDataset, world.Windows, world.PageLoads, feb, 1000)
+	if g1.Size() != 1000 {
+		t.Errorf("global set size = %d", g1.Size())
+	}
+	union := UnionTopSet(testDataset, world.Windows, world.PageLoads, feb, 1000, 1000)
+	if union.Size() <= g1.Size() {
+		t.Error("union must be strictly larger than its global component")
+	}
+	// The union contains every key of the global component.
+	for k := range g1.Keys {
+		if _, ok := union.Keys[k]; !ok {
+			t.Fatalf("union missing global key %s", k)
+		}
+	}
+}
+
+func TestEvaluateStrategyBounds(t *testing.T) {
+	set := GlobalTopSet(testDataset, world.Windows, world.PageLoads, feb, 1000)
+	cov := EvaluateStrategy(testDataset, set, world.Windows, world.PageLoads, feb)
+	if len(cov.PerCountry) != 45 {
+		t.Fatalf("countries = %d", len(cov.PerCountry))
+	}
+	for c, v := range cov.PerCountry {
+		if v < 0 || v > 1 {
+			t.Errorf("%s coverage %v out of [0,1]", c, v)
+		}
+	}
+	if cov.Min > cov.Q1+1e-9 || cov.Q1 > cov.Median+1e-9 {
+		t.Errorf("summary ordering broken: min=%v q1=%v med=%v", cov.Min, cov.Q1, cov.Median)
+	}
+}
+
+func TestCompareStrategiesSection6Hypothesis(t *testing.T) {
+	scs := CompareStrategies(testDataset, world.Windows, world.PageLoads, feb)
+	if len(scs) != 3 {
+		t.Fatalf("strategies = %d", len(scs))
+	}
+	g1k, g10k, union := scs[0], scs[1], scs[2]
+	// More sites → more coverage, monotonically.
+	if g10k.Median < g1k.Median {
+		t.Error("global 10K should cover at least as much as global 1K")
+	}
+	// The paper's hypothesis: the union strategy's worst-served
+	// country beats the global strategies' worst-served country.
+	if union.Min <= g10k.Min {
+		t.Errorf("union min coverage (%v) should beat global-10K min (%v)", union.Min, g10k.Min)
+	}
+	if union.Min <= g1k.Min {
+		t.Error("union min coverage should beat global-1K min")
+	}
+}
+
+func TestCruxCategoryShare(t *testing.T) {
+	records := crux.Export(testDataset, feb)
+	curve := testDataset.Dist(world.Windows, world.PageLoads)
+	shares := CruxCategoryShare(records, "US", curve, trueCat)
+	if len(shares) == 0 {
+		t.Fatal("no shares estimated")
+	}
+	var sum float64
+	for c, v := range shares {
+		if v < 0 {
+			t.Errorf("%s share negative", c)
+		}
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("shares sum to %v", sum)
+	}
+}
+
+func TestCruxCategoryShareUnknownCountry(t *testing.T) {
+	records := crux.Export(testDataset, feb)
+	curve := testDataset.Dist(world.Windows, world.PageLoads)
+	if got := CruxCategoryShare(records, "XX", curve, trueCat); len(got) != 0 {
+		t.Errorf("unknown country should yield empty shares, got %d", len(got))
+	}
+}
+
+func TestAnalyzeCruxReplication(t *testing.T) {
+	records := crux.Export(testDataset, feb)
+	rows := AnalyzeCruxReplication(testDataset, records, trueCat, world.Windows, feb)
+	if len(rows) < 20 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		if r.AbsError < 0 || r.RelError < 0 || r.RelError > 1 {
+			t.Errorf("row %d errors out of range: %+v", i, r)
+		}
+		if i > 0 && rows[i-1].Full < r.Full {
+			t.Fatal("rows not sorted by full share")
+		}
+	}
+	// Bucket flattening hurts the extreme head the most: the top
+	// category by full share (search engines) carries the largest
+	// absolute error.
+	maxErr := 0.0
+	for _, r := range rows {
+		if r.AbsError > maxErr {
+			maxErr = r.AbsError
+		}
+	}
+	if rows[0].AbsError != maxErr {
+		t.Errorf("expected the head category to suffer most from bucketing: head err %v, max %v",
+			rows[0].AbsError, maxErr)
+	}
+	mae := MeanAbsError(rows)
+	if mae <= 0 || mae > 0.1 {
+		t.Errorf("mean abs error = %v, want small but positive", mae)
+	}
+	if MeanAbsError(nil) != 0 {
+		t.Error("empty MAE should be 0")
+	}
+}

@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"wwb/internal/chrome"
+	"wwb/internal/dist"
+	"wwb/internal/ranklist"
+	"wwb/internal/stats"
+	"wwb/internal/taxonomy"
+	"wwb/internal/world"
+)
+
+// MonthPair identifies a compared pair of months.
+type MonthPair struct {
+	A, B world.Month
+}
+
+// String implements fmt.Stringer, e.g. "2021-09→2021-10".
+func (p MonthPair) String() string { return p.A.String() + "→" + p.B.String() }
+
+// AdjacentPairs returns the five consecutive month pairs of the study
+// window.
+func AdjacentPairs() []MonthPair {
+	var out []MonthPair
+	for i := 0; i+1 < len(world.StudyMonths); i++ {
+		out = append(out, MonthPair{world.StudyMonths[i], world.StudyMonths[i+1]})
+	}
+	return out
+}
+
+// BaselinePairs returns September compared with each later month.
+func BaselinePairs() []MonthPair {
+	var out []MonthPair
+	for _, m := range world.StudyMonths[1:] {
+		out = append(out, MonthPair{world.Sep2021, m})
+	}
+	return out
+}
+
+// TemporalRow is one cell of the Section 4.5 stability analysis: list
+// similarity between two months at one rank bucket, summarised across
+// countries.
+type TemporalRow struct {
+	Pair   MonthPair
+	Bucket int
+	// Median and quartiles of percent intersection across countries.
+	MedianIntersection, Q1Intersection, Q3Intersection float64
+	// Median Spearman's rho across countries.
+	MedianSpearman float64
+}
+
+// AnalyzeTemporal computes month-to-month list stability for each
+// requested pair and rank bucket.
+func AnalyzeTemporal(ds *chrome.Dataset, p world.Platform, m world.Metric, pairs []MonthPair, buckets []int) []TemporalRow {
+	var out []TemporalRow
+	for _, pair := range pairs {
+		for _, bucket := range buckets {
+			var inter, rho []float64
+			for _, country := range ds.Countries {
+				a := ds.List(country, p, m, pair.A).TopN(bucket)
+				b := ds.List(country, p, m, pair.B).TopN(bucket)
+				if len(a) == 0 || len(b) == 0 {
+					continue
+				}
+				cmp := ranklist.Compare(a, b)
+				inter = append(inter, cmp.PercentIntersection)
+				if cmp.Common >= 2 {
+					rho = append(rho, cmp.Spearman)
+				}
+			}
+			q1, med, q3 := stQuartiles(inter)
+			out = append(out, TemporalRow{
+				Pair:               pair,
+				Bucket:             bucket,
+				MedianIntersection: med,
+				Q1Intersection:     q1,
+				Q3Intersection:     q3,
+				MedianSpearman:     stats.Median(rho),
+			})
+		}
+	}
+	return out
+}
+
+// CategoryDrift returns, per month, each category's median share of
+// the top-N sites across countries — the Section 4.5 "stability of
+// category distributions" analysis where December's e-commerce bump
+// and education dip show up.
+func CategoryDrift(ds *chrome.Dataset, categorize dist.Categorize, p world.Platform, m world.Metric, n int) map[world.Month]map[taxonomy.Category]float64 {
+	out := map[world.Month]map[taxonomy.Category]float64{}
+	for _, month := range ds.Months {
+		perCat := map[taxonomy.Category][]float64{}
+		counted := 0
+		for _, country := range ds.Countries {
+			list := ds.List(country, p, m, month)
+			if len(list) == 0 {
+				continue
+			}
+			counted++
+			for cat, share := range dist.CountShare(list, n, categorize) {
+				perCat[cat] = append(perCat[cat], share)
+			}
+		}
+		monthOut := map[taxonomy.Category]float64{}
+		for cat, xs := range perCat {
+			for len(xs) < counted {
+				xs = append(xs, 0)
+			}
+			monthOut[cat] = stats.Median(xs)
+		}
+		out[month] = monthOut
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+package catapi
+
+import (
+	"wwb/internal/taxonomy"
+)
+
+// Categorizer is the study's final site → category mapping after the
+// Section 3.2 workflow: API labels for kept categories, Unknown for
+// dropped ones, and hand-verified sets for Search Engines and Social
+// Networks.
+type Categorizer struct {
+	svc        *Service
+	validation *Validation
+	// verified maps domains to their manually confirmed category; it
+	// overrides everything else.
+	verified map[string]taxonomy.Category
+}
+
+// NewCategorizer wires a service, its validation outcome, and the
+// manually verified domain sets.
+func NewCategorizer(svc *Service, v *Validation, verified map[string]taxonomy.Category) *Categorizer {
+	if verified == nil {
+		verified = map[string]taxonomy.Category{}
+	}
+	return &Categorizer{svc: svc, validation: v, verified: verified}
+}
+
+// Category returns the study category for a domain.
+func (c *Categorizer) Category(domain string) taxonomy.Category {
+	if cat, ok := c.verified[domain]; ok {
+		return cat
+	}
+	label := c.svc.Lookup(domain)
+	// The two flagship categories are only trusted when manually
+	// verified; everything else the API says about them is discarded
+	// (paper: "we use only the sets of manually verified sites for
+	// these two categories").
+	if taxonomy.ManuallyVerified(label) {
+		return taxonomy.Unknown
+	}
+	if c.validation != nil && c.validation.IsDropped(label) {
+		return taxonomy.Unknown
+	}
+	return label
+}
+
+// VerifyDomains emulates the paper's manual pass over top-list
+// domains: for each candidate domain, the reviewer (ground truth)
+// confirms or rejects membership in cat. The confirmed mapping can be
+// fed to NewCategorizer.
+func VerifyDomains(svc *Service, domains []string, cat taxonomy.Category) map[string]taxonomy.Category {
+	out := map[string]taxonomy.Category{}
+	for _, d := range domains {
+		if truth, ok := svc.TrueCategory(d); ok && truth == cat {
+			out[d] = cat
+		}
+	}
+	return out
+}

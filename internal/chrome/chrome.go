@@ -1,0 +1,236 @@
+// Package chrome assembles the study dataset the way the paper
+// describes Chrome's pipeline (Section 3.1): per-(country, platform,
+// month) telemetry aggregates become rank-ordered top-N lists per
+// popularity metric after privacy thresholding, plus global traffic-
+// distribution curves that include sub-threshold sites (the
+// distribution data carries no identifying site information, so the
+// paper's pipeline may keep all of it).
+package chrome
+
+import (
+	"fmt"
+	"sort"
+
+	"wwb/internal/psl"
+	"wwb/internal/telemetry"
+	"wwb/internal/world"
+)
+
+// Entry is one row of a rank list: a domain and its metric value
+// (loads, or foreground milliseconds).
+type Entry struct {
+	Domain string  `json:"domain"`
+	Value  float64 `json:"value"`
+}
+
+// RankList is a descending rank-ordered list of sites for one
+// (country, platform, metric, month) cell.
+type RankList []Entry
+
+// Domains returns the list's domains in rank order.
+func (l RankList) Domains() []string {
+	out := make([]string, len(l))
+	for i, e := range l {
+		out[i] = e.Domain
+	}
+	return out
+}
+
+// TopN returns the first n entries (or the whole list if shorter);
+// non-positive n yields an empty list.
+func (l RankList) TopN(n int) RankList {
+	if n < 0 {
+		n = 0
+	}
+	if n > len(l) {
+		n = len(l)
+	}
+	return l[:n]
+}
+
+// Rank returns the 1-based rank of a domain, or 0 if absent.
+func (l RankList) Rank(domain string) int {
+	for i, e := range l {
+		if e.Domain == domain {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// Options configures dataset assembly.
+type Options struct {
+	// PrivacyThreshold is the minimum unique clients a site needs per
+	// month to appear in rank lists.
+	PrivacyThreshold int64
+	// TopN is the rank-list depth (the paper works with top 10K in
+	// most countries).
+	TopN int
+	// DistMonth is the month whose traffic builds the global
+	// distribution curves (the paper uses its analysis month).
+	DistMonth world.Month
+	// Seed drives the sampling streams; independent of the world seed.
+	Seed uint64
+	// Months restricts assembly; nil means the full study window.
+	Months []world.Month
+}
+
+// DefaultOptions mirrors the paper's setup.
+func DefaultOptions() Options {
+	return Options{
+		PrivacyThreshold: 50,
+		TopN:             10000,
+		DistMonth:        world.Feb2022,
+		Seed:             1,
+	}
+}
+
+// Dataset is the assembled study dataset.
+type Dataset struct {
+	Opts      Options
+	Countries []string
+	Months    []world.Month
+
+	// lists maps cell keys to rank lists.
+	lists map[string]RankList
+	// dist holds the global distribution curves per platform/metric.
+	dist map[string]*DistCurve
+	// coverage[countryKey] is the fraction of the cell's total traffic
+	// captured by its (thresholded, truncated) rank list.
+	coverage map[string]float64
+}
+
+func listKey(country string, p world.Platform, m world.Metric, month world.Month) string {
+	return fmt.Sprintf("%s|%d|%d|%d", country, p, m, month)
+}
+
+func distKey(p world.Platform, m world.Metric) string {
+	return fmt.Sprintf("%d|%d", p, m)
+}
+
+// List returns the rank list for a cell (nil if absent).
+func (d *Dataset) List(country string, p world.Platform, m world.Metric, month world.Month) RankList {
+	return d.lists[listKey(country, p, m, month)]
+}
+
+// Coverage returns the share of the cell's total traffic its rank list
+// captures (the paper: top 10K ≈ 70–85 % of desktop traffic).
+func (d *Dataset) Coverage(country string, p world.Platform, m world.Metric, month world.Month) float64 {
+	return d.coverage[listKey(country, p, m, month)]
+}
+
+// Dist returns the global traffic-distribution curve for a platform
+// and metric.
+func (d *Dataset) Dist(p world.Platform, m world.Metric) *DistCurve {
+	return d.dist[distKey(p, m)]
+}
+
+// Assemble samples telemetry for every cell and builds the dataset.
+func Assemble(w *world.World, tcfg telemetry.Config, opts Options) *Dataset {
+	months := opts.Months
+	if len(months) == 0 {
+		months = world.StudyMonths
+	}
+	ds := &Dataset{
+		Opts:     opts,
+		Months:   months,
+		lists:    make(map[string]RankList),
+		dist:     make(map[string]*DistCurve),
+		coverage: make(map[string]float64),
+	}
+	root := world.NewRNG(opts.Seed)
+
+	// Global per-site accumulators for the distribution curves,
+	// aggregated by merged site key across countries (sub-threshold
+	// sites included).
+	globLoads := map[world.Platform]map[string]float64{
+		world.Windows: {}, world.Android: {},
+	}
+	globTime := map[world.Platform]map[string]float64{
+		world.Windows: {}, world.Android: {},
+	}
+
+	for _, c := range w.Countries() {
+		ds.Countries = append(ds.Countries, c.Code)
+		for _, p := range world.Platforms {
+			for _, month := range months {
+				cell := telemetry.Cell{Country: c.Code, Platform: p, Month: month}
+				rng := root.Fork("cell|" + c.Code + "|" + p.String() + "|" + month.String())
+				stats := telemetry.SampleCell(rng, w, tcfg, cell)
+
+				if month == opts.DistMonth {
+					for _, s := range stats {
+						key := psl.Default.SiteKey(s.Domain)
+						globLoads[p][key] += float64(s.Loads)
+						globTime[p][key] += float64(s.TimeMS)
+					}
+				}
+				ds.addLists(c.Code, p, month, stats)
+			}
+		}
+	}
+
+	for _, p := range world.Platforms {
+		ds.dist[distKey(p, world.PageLoads)] = NewDistCurve(values(globLoads[p]))
+		ds.dist[distKey(p, world.TimeOnPage)] = NewDistCurve(values(globTime[p]))
+	}
+	return ds
+}
+
+// addLists thresholds and ranks one cell's stats for both metrics.
+func (ds *Dataset) addLists(country string, p world.Platform, month world.Month, stats []telemetry.SiteStats) {
+	var totLoads, totTime float64
+	kept := make([]telemetry.SiteStats, 0, len(stats))
+	for _, s := range stats {
+		totLoads += float64(s.Loads)
+		totTime += float64(s.TimeMS)
+		if s.Clients >= ds.Opts.PrivacyThreshold {
+			kept = append(kept, s)
+		}
+	}
+
+	byLoads := make(RankList, 0, len(kept))
+	byTime := make(RankList, 0, len(kept))
+	for _, s := range kept {
+		byLoads = append(byLoads, Entry{Domain: s.Domain, Value: float64(s.Loads)})
+		byTime = append(byTime, Entry{Domain: s.Domain, Value: float64(s.TimeMS)})
+	}
+	sortList(byLoads)
+	sortList(byTime)
+	byLoads = byLoads.TopN(ds.Opts.TopN)
+	byTime = byTime.TopN(ds.Opts.TopN)
+
+	ds.lists[listKey(country, p, world.PageLoads, month)] = byLoads
+	ds.lists[listKey(country, p, world.TimeOnPage, month)] = byTime
+	if totLoads > 0 {
+		ds.coverage[listKey(country, p, world.PageLoads, month)] = sumValues(byLoads) / totLoads
+	}
+	if totTime > 0 {
+		ds.coverage[listKey(country, p, world.TimeOnPage, month)] = sumValues(byTime) / totTime
+	}
+}
+
+func sortList(l RankList) {
+	sort.Slice(l, func(i, j int) bool {
+		if l[i].Value != l[j].Value {
+			return l[i].Value > l[j].Value
+		}
+		return l[i].Domain < l[j].Domain
+	})
+}
+
+func sumValues(l RankList) float64 {
+	var s float64
+	for _, e := range l {
+		s += e.Value
+	}
+	return s
+}
+
+func values(m map[string]float64) []float64 {
+	out := make([]float64, 0, len(m))
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+package chrome
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"testing"
+
+	"wwb/internal/world"
+)
+
+func TestEncodeCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := testDataset.EncodeCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r := csv.NewReader(&buf)
+	rows, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 1000 {
+		t.Fatalf("rows = %d, want many", len(rows))
+	}
+	header := rows[0]
+	want := []string{"country", "platform", "metric", "month", "rank", "domain", "value"}
+	for i, h := range want {
+		if header[i] != h {
+			t.Fatalf("header[%d] = %q, want %q", i, header[i], h)
+		}
+	}
+	// Row integrity: ranks are positive ints, values parse as floats,
+	// and every (country, platform, metric) stream is rank-ascending.
+	type streamKey struct{ c, p, m string }
+	lastRank := map[streamKey]int{}
+	total := 0
+	for _, row := range rows[1:] {
+		rank, err := strconv.Atoi(row[4])
+		if err != nil || rank < 1 {
+			t.Fatalf("bad rank %q", row[4])
+		}
+		if _, err := strconv.ParseFloat(row[6], 64); err != nil {
+			t.Fatalf("bad value %q", row[6])
+		}
+		k := streamKey{row[0], row[1], row[2]}
+		if rank != lastRank[k]+1 {
+			t.Fatalf("stream %v rank jumped from %d to %d", k, lastRank[k], rank)
+		}
+		lastRank[k] = rank
+		total++
+	}
+	// Row count equals the sum of list lengths over the assembled
+	// cells (Feb only in the test fixture).
+	wantTotal := 0
+	for _, c := range testDataset.Countries {
+		for _, p := range world.Platforms {
+			for _, m := range world.Metrics {
+				wantTotal += len(testDataset.List(c, p, m, world.Feb2022))
+			}
+		}
+	}
+	if total != wantTotal {
+		t.Errorf("CSV rows = %d, want %d", total, wantTotal)
+	}
+}

@@ -1,0 +1,72 @@
+package chrome
+
+import "sort"
+
+// DistCurve is a global traffic-distribution curve: the share of all
+// traffic captured at each popularity rank, built from every observed
+// site including those below the privacy threshold (Section 4.1.1 —
+// the distribution carries no identifying data, so nothing is
+// excluded).
+type DistCurve struct {
+	// Shares[i] is the fraction of total traffic at rank i+1; the
+	// slice is non-increasing and sums to 1 (for a non-empty curve).
+	Shares []float64 `json:"shares"`
+}
+
+// NewDistCurve builds a curve from raw per-site volumes (any order).
+func NewDistCurve(volumes []float64) *DistCurve {
+	vs := make([]float64, 0, len(volumes))
+	var total float64
+	for _, v := range volumes {
+		if v > 0 {
+			vs = append(vs, v)
+			total += v
+		}
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(vs)))
+	if total > 0 {
+		for i := range vs {
+			vs[i] /= total
+		}
+	}
+	return &DistCurve{Shares: vs}
+}
+
+// Len returns the number of ranked sites in the curve.
+func (d *DistCurve) Len() int { return len(d.Shares) }
+
+// WeightAt returns the share of traffic at a 1-based rank; ranks past
+// the curve get 0. This is the weighting function the paper uses to
+// model traffic volume per rank (Sections 4.2.2, 4.3, 5.3.1).
+func (d *DistCurve) WeightAt(rank int) float64 {
+	if rank < 1 || rank > len(d.Shares) {
+		return 0
+	}
+	return d.Shares[rank-1]
+}
+
+// CumShare returns the fraction of traffic captured by the top n
+// sites.
+func (d *DistCurve) CumShare(n int) float64 {
+	if n > len(d.Shares) {
+		n = len(d.Shares)
+	}
+	var s float64
+	for i := 0; i < n; i++ {
+		s += d.Shares[i]
+	}
+	return s
+}
+
+// SitesForShare returns the smallest n with CumShare(n) >= q, or the
+// curve length if the share is never reached.
+func (d *DistCurve) SitesForShare(q float64) int {
+	var s float64
+	for i, v := range d.Shares {
+		s += v
+		if s >= q {
+			return i + 1
+		}
+	}
+	return len(d.Shares)
+}

@@ -1,0 +1,60 @@
+package chrome
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"wwb/internal/world"
+)
+
+// datasetJSON is the serialised form of a Dataset. Cell keys are the
+// same strings the in-memory maps use, so the format is stable and
+// self-describing.
+type datasetJSON struct {
+	Opts      Options               `json:"opts"`
+	Countries []string              `json:"countries"`
+	Months    []world.Month         `json:"months"`
+	Lists     map[string]RankList   `json:"lists"`
+	Dist      map[string]*DistCurve `json:"dist"`
+	Coverage  map[string]float64    `json:"coverage"`
+}
+
+// Encode writes the dataset as JSON.
+func (d *Dataset) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(datasetJSON{
+		Opts:      d.Opts,
+		Countries: d.Countries,
+		Months:    d.Months,
+		Lists:     d.lists,
+		Dist:      d.dist,
+		Coverage:  d.coverage,
+	})
+}
+
+// Decode reads a dataset previously written by Encode.
+func Decode(r io.Reader) (*Dataset, error) {
+	var dj datasetJSON
+	if err := json.NewDecoder(r).Decode(&dj); err != nil {
+		return nil, fmt.Errorf("chrome: decoding dataset: %w", err)
+	}
+	ds := &Dataset{
+		Opts:      dj.Opts,
+		Countries: dj.Countries,
+		Months:    dj.Months,
+		lists:     dj.Lists,
+		dist:      dj.Dist,
+		coverage:  dj.Coverage,
+	}
+	if ds.lists == nil {
+		ds.lists = make(map[string]RankList)
+	}
+	if ds.dist == nil {
+		ds.dist = make(map[string]*DistCurve)
+	}
+	if ds.coverage == nil {
+		ds.coverage = make(map[string]float64)
+	}
+	return ds, nil
+}

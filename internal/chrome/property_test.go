@@ -1,0 +1,92 @@
+package chrome
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Property tests on the distribution-curve invariants.
+
+func TestDistCurveInvariantsProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		vols := make([]float64, len(raw))
+		for i, r := range raw {
+			vols[i] = float64(r)
+		}
+		d := NewDistCurve(vols)
+		// Non-increasing, positive, summing to ≈1 (or empty).
+		var sum float64
+		for i, s := range d.Shares {
+			if s <= 0 {
+				return false
+			}
+			if i > 0 && s > d.Shares[i-1] {
+				return false
+			}
+			sum += s
+		}
+		if d.Len() > 0 && math.Abs(sum-1) > 1e-9 {
+			return false
+		}
+		// CumShare is monotone and bounded.
+		prev := 0.0
+		for n := 0; n <= d.Len()+2; n++ {
+			c := d.CumShare(n)
+			if c < prev-1e-12 || c > 1+1e-9 {
+				return false
+			}
+			prev = c
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSitesForShareConsistentProperty(t *testing.T) {
+	f := func(raw []uint16, qRaw uint8) bool {
+		vols := make([]float64, 0, len(raw))
+		for _, r := range raw {
+			if r > 0 {
+				vols = append(vols, float64(r))
+			}
+		}
+		if len(vols) == 0 {
+			return true
+		}
+		d := NewDistCurve(vols)
+		q := float64(qRaw) / 256
+		n := d.SitesForShare(q)
+		// n sites reach the share; n-1 do not (when n within range).
+		if d.CumShare(n) < q-1e-9 && n < d.Len() {
+			return false
+		}
+		if n > 1 && d.CumShare(n-1) >= q && q > 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRankListTopNNeverPanicsProperty(t *testing.T) {
+	l := RankList{{Domain: "a", Value: 3}, {Domain: "b", Value: 2}, {Domain: "c", Value: 1}}
+	f := func(n int16) bool {
+		got := l.TopN(int(n)) // negatives must not panic
+		return len(got) <= len(l) && len(got) <= max(int(n), 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,245 @@
+// Package cluster implements the clustering machinery of Section
+// 5.3.1: affinity propagation (Frey & Dueck, 2007) over an arbitrary
+// similarity matrix — chosen by the paper because it does not need a
+// preset cluster count and tolerates varying cluster density — and the
+// Silhouette Coefficient used to validate the resulting clusters.
+package cluster
+
+import (
+	"math"
+
+	"wwb/internal/stats"
+)
+
+// APOptions configures affinity propagation.
+type APOptions struct {
+	// Damping λ in [0.5, 1): message updates are damped as
+	// new = λ·old + (1-λ)·computed to avoid oscillation.
+	Damping float64
+	// MaxIter bounds the message-passing rounds.
+	MaxIter int
+	// ConvergenceIters is how many consecutive rounds the exemplar set
+	// must stay unchanged to declare convergence.
+	ConvergenceIters int
+	// Preference is the self-similarity s(k,k). NaN selects the median
+	// of the off-diagonal similarities (the standard default, yielding
+	// a moderate number of clusters).
+	Preference float64
+}
+
+// DefaultAPOptions returns the standard settings.
+func DefaultAPOptions() APOptions {
+	return APOptions{
+		Damping:          0.7,
+		MaxIter:          500,
+		ConvergenceIters: 15,
+		Preference:       math.NaN(),
+	}
+}
+
+// APResult is the outcome of affinity propagation.
+type APResult struct {
+	// Exemplars are the indices of cluster exemplars, ascending.
+	Exemplars []int
+	// Assignment[i] is the exemplar index (a member of Exemplars) that
+	// point i belongs to; exemplars are assigned to themselves.
+	Assignment []int
+	// Iterations actually run.
+	Iterations int
+	// Converged reports whether the exemplar set stabilised before
+	// MaxIter.
+	Converged bool
+}
+
+// NumClusters returns the number of clusters found.
+func (r APResult) NumClusters() int { return len(r.Exemplars) }
+
+// AffinityPropagation clusters points given a square similarity
+// matrix. Higher s[i][j] means more similar. The matrix is not
+// modified. It panics on a non-square input.
+func AffinityPropagation(sim [][]float64, opts APOptions) APResult {
+	n := len(sim)
+	for _, row := range sim {
+		if len(row) != n {
+			panic("cluster: similarity matrix must be square")
+		}
+	}
+	if n == 0 {
+		return APResult{}
+	}
+	if n == 1 {
+		return APResult{Exemplars: []int{0}, Assignment: []int{0}, Converged: true}
+	}
+
+	pref := opts.Preference
+	if math.IsNaN(pref) {
+		var off []float64
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j {
+					off = append(off, sim[i][j])
+				}
+			}
+		}
+		pref = stats.Median(off)
+	}
+
+	// Working similarity with preferences on the diagonal and tiny
+	// deterministic jitter to break ties (the reference implementation
+	// adds noise; we derive it from the indices so runs reproduce).
+	s := make([][]float64, n)
+	for i := range s {
+		s[i] = make([]float64, n)
+		copy(s[i], sim[i])
+		s[i][i] = pref
+		for j := range s[i] {
+			s[i][j] += 1e-12 * float64((i*31+j*17)%101)
+		}
+	}
+
+	r := newMatrix(n)
+	a := newMatrix(n)
+	lambda := opts.Damping
+
+	var lastExemplars []int
+	stable := 0
+	iter := 0
+	for iter = 1; iter <= opts.MaxIter; iter++ {
+		// Responsibilities.
+		for i := 0; i < n; i++ {
+			// Find the largest and second largest a+s over k.
+			max1, max2 := math.Inf(-1), math.Inf(-1)
+			arg1 := -1
+			for k := 0; k < n; k++ {
+				v := a[i][k] + s[i][k]
+				if v > max1 {
+					max2 = max1
+					max1, arg1 = v, k
+				} else if v > max2 {
+					max2 = v
+				}
+			}
+			for k := 0; k < n; k++ {
+				ref := max1
+				if k == arg1 {
+					ref = max2
+				}
+				newR := s[i][k] - ref
+				r[i][k] = lambda*r[i][k] + (1-lambda)*newR
+			}
+		}
+		// Availabilities.
+		for k := 0; k < n; k++ {
+			var sumPos float64
+			for i := 0; i < n; i++ {
+				if i != k && r[i][k] > 0 {
+					sumPos += r[i][k]
+				}
+			}
+			for i := 0; i < n; i++ {
+				var newA float64
+				if i == k {
+					newA = sumPos
+				} else {
+					v := r[k][k] + sumPos
+					if r[i][k] > 0 {
+						v -= r[i][k]
+					}
+					if v > 0 {
+						v = 0
+					}
+					newA = v
+				}
+				a[i][k] = lambda*a[i][k] + (1-lambda)*newA
+			}
+		}
+		// Current exemplars.
+		ex := exemplarsOf(r, a)
+		if equalInts(ex, lastExemplars) && len(ex) > 0 {
+			stable++
+			if stable >= opts.ConvergenceIters {
+				return assign(sim, ex, iter, true)
+			}
+		} else {
+			stable = 0
+			lastExemplars = ex
+		}
+	}
+	ex := exemplarsOf(r, a)
+	if len(ex) == 0 {
+		// Degenerate: fall back to a single exemplar (the point with
+		// the highest total similarity).
+		best, bestSum := 0, math.Inf(-1)
+		for k := 0; k < n; k++ {
+			var sum float64
+			for i := 0; i < n; i++ {
+				sum += sim[i][k]
+			}
+			if sum > bestSum {
+				best, bestSum = k, sum
+			}
+		}
+		ex = []int{best}
+	}
+	return assign(sim, ex, iter-1, false)
+}
+
+func newMatrix(n int) [][]float64 {
+	backing := make([]float64, n*n)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = backing[i*n : (i+1)*n]
+	}
+	return m
+}
+
+func exemplarsOf(r, a [][]float64) []int {
+	var ex []int
+	for k := range r {
+		if r[k][k]+a[k][k] > 0 {
+			ex = append(ex, k)
+		}
+	}
+	return ex
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// assign gives every point to its most similar exemplar.
+func assign(sim [][]float64, exemplars []int, iters int, converged bool) APResult {
+	n := len(sim)
+	assignment := make([]int, n)
+	for i := 0; i < n; i++ {
+		best, bestSim := exemplars[0], math.Inf(-1)
+		for _, k := range exemplars {
+			if i == k {
+				best = k
+				break
+			}
+			if sim[i][k] > bestSim {
+				best, bestSim = k, sim[i][k]
+			}
+		}
+		assignment[i] = best
+	}
+	// Exemplars always belong to themselves.
+	for _, k := range exemplars {
+		assignment[k] = k
+	}
+	return APResult{
+		Exemplars:  exemplars,
+		Assignment: assignment,
+		Iterations: iters,
+		Converged:  converged,
+	}
+}

@@ -1,0 +1,219 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+// blockSim builds a similarity matrix with tight blocks: points in the
+// same block have similarity hi, across blocks lo.
+func blockSim(blockSizes []int, hi, lo float64) ([][]float64, []int) {
+	var truth []int
+	for b, sz := range blockSizes {
+		for i := 0; i < sz; i++ {
+			truth = append(truth, b)
+		}
+	}
+	n := len(truth)
+	sim := newMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			switch {
+			case i == j:
+				sim[i][j] = hi
+			case truth[i] == truth[j]:
+				sim[i][j] = hi
+			default:
+				sim[i][j] = lo
+			}
+		}
+	}
+	return sim, truth
+}
+
+func TestAffinityPropagationRecoversBlocks(t *testing.T) {
+	sim, truth := blockSim([]int{6, 5, 7}, 0.9, 0.1)
+	res := AffinityPropagation(sim, DefaultAPOptions())
+	if !res.Converged {
+		t.Error("expected convergence on a clean block matrix")
+	}
+	if res.NumClusters() != 3 {
+		t.Fatalf("clusters = %d, want 3", res.NumClusters())
+	}
+	// All members of a true block share an exemplar, and different
+	// blocks have different exemplars.
+	seen := map[int]int{} // exemplar -> truth block
+	for i, ex := range res.Assignment {
+		if prev, ok := seen[ex]; ok {
+			if prev != truth[i] {
+				t.Fatalf("exemplar %d spans blocks %d and %d", ex, prev, truth[i])
+			}
+		} else {
+			seen[ex] = truth[i]
+		}
+	}
+}
+
+func TestAffinityPropagationDeterminism(t *testing.T) {
+	sim, _ := blockSim([]int{4, 4, 4}, 0.8, 0.2)
+	a := AffinityPropagation(sim, DefaultAPOptions())
+	b := AffinityPropagation(sim, DefaultAPOptions())
+	if !equalInts(a.Exemplars, b.Exemplars) || !equalInts(a.Assignment, b.Assignment) {
+		t.Error("affinity propagation should be deterministic")
+	}
+}
+
+func TestAffinityPropagationEdgeCases(t *testing.T) {
+	if res := AffinityPropagation(nil, DefaultAPOptions()); res.NumClusters() != 0 {
+		t.Error("empty input should yield no clusters")
+	}
+	res := AffinityPropagation([][]float64{{1}}, DefaultAPOptions())
+	if res.NumClusters() != 1 || res.Assignment[0] != 0 {
+		t.Error("single point should be its own exemplar")
+	}
+}
+
+func TestAffinityPropagationPanicsOnRagged(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ragged matrix should panic")
+		}
+	}()
+	AffinityPropagation([][]float64{{1, 2}, {1}}, DefaultAPOptions())
+}
+
+func TestAffinityPropagationPreferenceControlsGranularity(t *testing.T) {
+	sim, _ := blockSim([]int{5, 5}, 0.9, 0.3)
+	low := DefaultAPOptions()
+	low.Preference = -5 // strongly discourage exemplars
+	resLow := AffinityPropagation(sim, low)
+	high := DefaultAPOptions()
+	high.Preference = 0.95 // everyone wants to be an exemplar
+	resHigh := AffinityPropagation(sim, high)
+	if resLow.NumClusters() > resHigh.NumClusters() {
+		t.Errorf("higher preference should not reduce clusters: %d vs %d",
+			resLow.NumClusters(), resHigh.NumClusters())
+	}
+}
+
+func TestAffinityPropagationExemplarsSelfAssigned(t *testing.T) {
+	sim, _ := blockSim([]int{6, 6}, 0.85, 0.15)
+	res := AffinityPropagation(sim, DefaultAPOptions())
+	for _, k := range res.Exemplars {
+		if res.Assignment[k] != k {
+			t.Errorf("exemplar %d not self-assigned", k)
+		}
+	}
+	// Every assignment must point at an exemplar.
+	isEx := map[int]bool{}
+	for _, k := range res.Exemplars {
+		isEx[k] = true
+	}
+	for i, a := range res.Assignment {
+		if !isEx[a] {
+			t.Errorf("point %d assigned to non-exemplar %d", i, a)
+		}
+	}
+}
+
+func TestSilhouettePerfectClusters(t *testing.T) {
+	sim, truth := blockSim([]int{5, 5}, 1, 0)
+	dist := DistanceFromSimilarity(sim)
+	per, avg := Silhouette(dist, truth)
+	for i, s := range per {
+		if math.Abs(s-1) > 1e-9 {
+			t.Errorf("point %d silhouette = %v, want 1", i, s)
+		}
+	}
+	if math.Abs(avg-1) > 1e-9 {
+		t.Errorf("avg = %v, want 1", avg)
+	}
+}
+
+func TestSilhouetteRandomVsStructured(t *testing.T) {
+	sim, truth := blockSim([]int{5, 5}, 0.9, 0.1)
+	dist := DistanceFromSimilarity(sim)
+	_, good := Silhouette(dist, truth)
+	// Deliberately wrong labels: split each true block across clusters.
+	bad := make([]int, len(truth))
+	for i := range bad {
+		bad[i] = i % 2
+	}
+	_, worse := Silhouette(dist, bad)
+	if good <= worse {
+		t.Errorf("true labels should score higher: good=%v bad=%v", good, worse)
+	}
+}
+
+func TestSilhouetteSingletonAndSingleCluster(t *testing.T) {
+	dist := [][]float64{{0, 1, 1}, {1, 0, 1}, {1, 1, 0}}
+	// One singleton: its coefficient is 0.
+	per, _ := Silhouette(dist, []int{0, 1, 1})
+	if per[0] != 0 {
+		t.Errorf("singleton silhouette = %v, want 0", per[0])
+	}
+	// All one cluster: silhouette undefined → zeros.
+	per, avg := Silhouette(dist, []int{7, 7, 7})
+	for _, s := range per {
+		if s != 0 {
+			t.Errorf("single-cluster silhouette = %v, want 0", s)
+		}
+	}
+	if avg != 0 {
+		t.Errorf("avg = %v, want 0", avg)
+	}
+}
+
+func TestSilhouetteRange(t *testing.T) {
+	sim, truth := blockSim([]int{4, 3, 6}, 0.7, 0.3)
+	dist := DistanceFromSimilarity(sim)
+	per, avg := Silhouette(dist, truth)
+	for i, s := range per {
+		if s < -1-1e-9 || s > 1+1e-9 {
+			t.Errorf("silhouette %d = %v out of [-1,1]", i, s)
+		}
+	}
+	if avg < -1 || avg > 1 {
+		t.Errorf("avg out of range: %v", avg)
+	}
+}
+
+func TestSilhouetteByCluster(t *testing.T) {
+	sim, truth := blockSim([]int{5, 5}, 1, 0)
+	dist := DistanceFromSimilarity(sim)
+	by := SilhouetteByCluster(dist, truth)
+	if len(by) != 2 {
+		t.Fatalf("clusters = %d, want 2", len(by))
+	}
+	for l, v := range by {
+		if math.Abs(v-1) > 1e-9 {
+			t.Errorf("cluster %d silhouette = %v, want 1", l, v)
+		}
+	}
+}
+
+func TestSilhouetteEmptyInputs(t *testing.T) {
+	per, avg := Silhouette(nil, nil)
+	if per != nil || avg != 0 {
+		t.Error("empty silhouette should be nil/0")
+	}
+	per, _ = Silhouette([][]float64{{0}}, []int{0, 1})
+	if per != nil {
+		t.Error("mismatched labels should yield nil")
+	}
+}
+
+func TestDistanceFromSimilarity(t *testing.T) {
+	d := DistanceFromSimilarity([][]float64{{1, 0.25}, {0.25, 1}})
+	if d[0][0] != 0 || d[1][1] != 0 {
+		t.Error("diagonal must be 0")
+	}
+	if d[0][1] != 0.75 {
+		t.Errorf("distance = %v, want 0.75", d[0][1])
+	}
+	// Similarities above 1 clamp to distance 0.
+	d = DistanceFromSimilarity([][]float64{{1, 1.5}, {1.5, 1}})
+	if d[0][1] != 0 {
+		t.Errorf("clamped distance = %v, want 0", d[0][1])
+	}
+}

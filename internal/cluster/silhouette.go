@@ -1,0 +1,109 @@
+package cluster
+
+// Silhouette computes per-point silhouette coefficients from a square
+// distance matrix and cluster labels (any integers; equal label =
+// same cluster). For point i with mean intra-cluster distance a(i)
+// and smallest mean distance to another cluster b(i):
+//
+//	s(i) = (b(i) - a(i)) / max(a(i), b(i))
+//
+// Points in singleton clusters get s(i) = 0 by convention. The second
+// return value is the average over all points (the validation score
+// the paper reports, Section 5.3.1 / Figure 21).
+func Silhouette(dist [][]float64, labels []int) ([]float64, float64) {
+	n := len(dist)
+	if n == 0 || len(labels) != n {
+		return nil, 0
+	}
+	members := map[int][]int{}
+	for i, l := range labels {
+		members[l] = append(members[l], i)
+	}
+	per := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		own := members[labels[i]]
+		if len(own) <= 1 {
+			per[i] = 0
+			continue
+		}
+		var a float64
+		for _, j := range own {
+			if j != i {
+				a += dist[i][j]
+			}
+		}
+		a /= float64(len(own) - 1)
+
+		b := -1.0
+		for l, pts := range members {
+			if l == labels[i] {
+				continue
+			}
+			var d float64
+			for _, j := range pts {
+				d += dist[i][j]
+			}
+			d /= float64(len(pts))
+			if b < 0 || d < b {
+				b = d
+			}
+		}
+		if b < 0 {
+			// Single cluster overall: silhouette undefined, use 0.
+			per[i] = 0
+			continue
+		}
+		max := a
+		if b > max {
+			max = b
+		}
+		if max > 0 {
+			per[i] = (b - a) / max
+		}
+	}
+	for _, v := range per {
+		total += v
+	}
+	return per, total / float64(n)
+}
+
+// SilhouetteByCluster averages the per-point coefficients within each
+// cluster label.
+func SilhouetteByCluster(dist [][]float64, labels []int) map[int]float64 {
+	per, _ := Silhouette(dist, labels)
+	sums := map[int]float64{}
+	counts := map[int]int{}
+	for i, l := range labels {
+		if i < len(per) {
+			sums[l] += per[i]
+			counts[l]++
+		}
+	}
+	out := map[int]float64{}
+	for l, s := range sums {
+		out[l] = s / float64(counts[l])
+	}
+	return out
+}
+
+// DistanceFromSimilarity converts a similarity matrix with entries in
+// [0, 1] to a distance matrix 1 - s (diagonal forced to 0).
+func DistanceFromSimilarity(sim [][]float64) [][]float64 {
+	n := len(sim)
+	out := newMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				out[i][j] = 0
+				continue
+			}
+			d := 1 - sim[i][j]
+			if d < 0 {
+				d = 0
+			}
+			out[i][j] = d
+		}
+	}
+	return out
+}

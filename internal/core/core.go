@@ -1,0 +1,237 @@
+// Package core orchestrates the full study pipeline: generate the
+// synthetic web universe, sample telemetry, assemble the Chrome-style
+// dataset, run the categorisation workflow, and expose every analysis
+// from the paper's Sections 4 and 5. It is the engine behind the
+// public wwb package, the command-line tools, and the benchmark
+// harness.
+package core
+
+import (
+	"strconv"
+	"sync"
+
+	"wwb/internal/analysis"
+	"wwb/internal/catapi"
+	"wwb/internal/chrome"
+	"wwb/internal/taxonomy"
+	"wwb/internal/telemetry"
+	"wwb/internal/world"
+)
+
+// Config bundles the configuration of every pipeline stage.
+type Config struct {
+	World     world.Config
+	Telemetry telemetry.Config
+	Chrome    chrome.Options
+	CatAPI    catapi.ServiceConfig
+	// SamplesPerCategory is the validation sample size (the paper
+	// manually checks ten random sites per category).
+	SamplesPerCategory int
+}
+
+// DefaultConfig is the full-size calibrated study.
+func DefaultConfig() Config {
+	return Config{
+		World:              world.DefaultConfig(),
+		Telemetry:          telemetry.DefaultConfig(),
+		Chrome:             chrome.DefaultOptions(),
+		CatAPI:             catapi.DefaultServiceConfig(),
+		SamplesPerCategory: 10,
+	}
+}
+
+// SmallConfig is a reduced study for fast tests and examples.
+func SmallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.World = world.SmallConfig()
+	return cfg
+}
+
+// FebOnly restricts a config to the analysis month, skipping the five
+// other monthly assemblies (a large speed-up when temporal analyses
+// are not needed).
+func (c Config) FebOnly() Config {
+	c.Chrome.Months = []world.Month{world.Feb2022}
+	return c
+}
+
+// Study is a fully assembled reproduction study.
+type Study struct {
+	Cfg         Config
+	World       *world.World
+	Dataset     *chrome.Dataset
+	Service     *catapi.Service
+	Validation  *catapi.Validation
+	Categorizer *catapi.Categorizer
+
+	// Month is the analysis month (the paper uses February 2022).
+	Month world.Month
+
+	mu    sync.Mutex
+	cache map[string]any
+}
+
+// New runs the pipeline end to end.
+func New(cfg Config) *Study {
+	w := world.Generate(cfg.World)
+	ds := chrome.Assemble(w, cfg.Telemetry, cfg.Chrome)
+	svc := catapi.NewService(w, cfg.CatAPI)
+	validation := catapi.Validate(svc, cfg.SamplesPerCategory)
+
+	// Manual verification pass (Section 3.2): the authors verified
+	// search engines and social networks within the top 100 sites of
+	// every country. Collect those domains and verify them against
+	// the oracle.
+	month := cfg.Chrome.DistMonth
+	candidates := map[string]struct{}{}
+	for _, country := range ds.Countries {
+		for _, p := range world.Platforms {
+			for _, m := range world.Metrics {
+				for _, e := range ds.List(country, p, m, month).TopN(100) {
+					candidates[e.Domain] = struct{}{}
+				}
+			}
+		}
+	}
+	domains := make([]string, 0, len(candidates))
+	for d := range candidates {
+		domains = append(domains, d)
+	}
+	verified := catapi.VerifyDomains(svc, domains, taxonomy.SearchEngines)
+	for d, c := range catapi.VerifyDomains(svc, domains, taxonomy.SocialNetworks) {
+		verified[d] = c
+	}
+
+	return &Study{
+		Cfg:         cfg,
+		World:       w,
+		Dataset:     ds,
+		Service:     svc,
+		Validation:  validation,
+		Categorizer: catapi.NewCategorizer(svc, validation, verified),
+		Month:       month,
+		cache:       map[string]any{},
+	}
+}
+
+// Categorize maps a domain to its study category.
+func (s *Study) Categorize(domain string) taxonomy.Category {
+	return s.Categorizer.Category(domain)
+}
+
+// memo caches an analysis result under a key. The lock is not held
+// while computing: analyses may depend on other memoized analyses, and
+// recomputing a result on a rare race is harmless because analyses are
+// deterministic.
+func memo[T any](s *Study, key string, compute func() T) T {
+	s.mu.Lock()
+	if v, ok := s.cache[key]; ok {
+		s.mu.Unlock()
+		return v.(T)
+	}
+	s.mu.Unlock()
+	v := compute()
+	s.mu.Lock()
+	s.cache[key] = v
+	s.mu.Unlock()
+	return v
+}
+
+// Concentration runs the Section 4.1 analysis (Figure 1).
+func (s *Study) Concentration(p world.Platform, m world.Metric) analysis.Concentration {
+	return memo(s, "conc|"+p.String()+m.String(), func() analysis.Concentration {
+		return analysis.AnalyzeConcentration(s.Dataset, p, m, s.Month)
+	})
+}
+
+// UseCases runs the Figure 2 breakdown.
+func (s *Study) UseCases(p world.Platform, m world.Metric, n int) analysis.CategoryBreakdown {
+	key := "use|" + p.String() + m.String() + strconv.Itoa(n)
+	return memo(s, key, func() analysis.CategoryBreakdown {
+		return analysis.AnalyzeUseCases(s.Dataset, s.Categorize, p, m, s.Month, n)
+	})
+}
+
+// TopTenPresence runs the Section 4.2.1 per-category country counts.
+func (s *Study) TopTenPresence(p world.Platform, m world.Metric) map[taxonomy.Category]int {
+	key := "top10|" + p.String() + m.String()
+	return memo(s, key, func() map[taxonomy.Category]int {
+		return analysis.TopTenPresence(s.Dataset, s.Categorize, p, m, s.Month)
+	})
+}
+
+// PrevalenceByRank runs the Figure 3 sweep for one category.
+func (s *Study) PrevalenceByRank(cat taxonomy.Category, p world.Platform, m world.Metric, thresholds []int) []analysis.PrevalencePoint {
+	return analysis.PrevalenceByRank(s.Dataset, s.Categorize, cat, p, m, s.Month, thresholds)
+}
+
+// PlatformDiff runs Figure 4 (PageLoads) / Figure 15 (TimeOnPage).
+func (s *Study) PlatformDiff(m world.Metric, n int) []analysis.PlatformDiff {
+	key := "pdiff|" + m.String() + strconv.Itoa(n)
+	return memo(s, key, func() []analysis.PlatformDiff {
+		return analysis.AnalyzePlatformDiff(s.Dataset, s.Categorize, m, s.Month, n, 0.05, 5)
+	})
+}
+
+// MetricAgreement runs the Section 4.4 intersection/Spearman analysis.
+func (s *Study) MetricAgreement(p world.Platform, n int) analysis.MetricAgreement {
+	key := "magree|" + p.String() + strconv.Itoa(n)
+	return memo(s, key, func() analysis.MetricAgreement {
+		return analysis.AnalyzeMetricAgreement(s.Dataset, p, s.Month, n)
+	})
+}
+
+// MetricLean runs the Figure 5 / 16 lean analysis.
+func (s *Study) MetricLean(p world.Platform, n int) []analysis.CategoryLean {
+	key := "mlean|" + p.String() + strconv.Itoa(n)
+	return memo(s, key, func() []analysis.CategoryLean {
+		return analysis.AnalyzeMetricLean(s.Dataset, s.Categorize, p, s.Month, n)
+	})
+}
+
+// Temporal runs the Section 4.5 stability rows.
+func (s *Study) Temporal(p world.Platform, m world.Metric, pairs []analysis.MonthPair, buckets []int) []analysis.TemporalRow {
+	return analysis.AnalyzeTemporal(s.Dataset, p, m, pairs, buckets)
+}
+
+// CategoryDrift runs the Section 4.5 category-share drift.
+func (s *Study) CategoryDrift(p world.Platform, m world.Metric, n int) map[world.Month]map[taxonomy.Category]float64 {
+	return analysis.CategoryDrift(s.Dataset, s.Categorize, p, m, n)
+}
+
+// CountrySimilarity runs the Figure 10 weighted-RBO matrix.
+func (s *Study) CountrySimilarity(p world.Platform, m world.Metric) analysis.SimilarityMatrix {
+	key := "sim|" + p.String() + m.String()
+	return memo(s, key, func() analysis.SimilarityMatrix {
+		return analysis.AnalyzeCountrySimilarity(s.Dataset, p, m, s.Month, s.Cfg.Chrome.TopN)
+	})
+}
+
+// CountryClusters runs Figure 11 / 21 on a similarity matrix.
+func (s *Study) CountryClusters(p world.Platform, m world.Metric) analysis.ClusterResult {
+	key := "clus|" + p.String() + m.String()
+	return memo(s, key, func() analysis.ClusterResult {
+		return analysis.AnalyzeCountryClusters(s.CountrySimilarity(p, m))
+	})
+}
+
+// Endemicity runs the Section 5.1–5.2 pipeline.
+func (s *Study) Endemicity(p world.Platform, m world.Metric) analysis.EndemicityResult {
+	key := "endem|" + p.String() + m.String()
+	return memo(s, key, func() analysis.EndemicityResult {
+		return analysis.AnalyzeEndemicity(s.Dataset, s.Categorize, p, m, s.Month)
+	})
+}
+
+// GlobalShareByBucket runs Figure 9 / 17.
+func (s *Study) GlobalShareByBucket(p world.Platform, m world.Metric) []analysis.BucketShare {
+	key := "gbucket|" + p.String() + m.String()
+	return memo(s, key, func() []analysis.BucketShare {
+		return analysis.AnalyzeGlobalShareByBucket(s.Dataset, s.Endemicity(p, m), p, m, s.Month)
+	})
+}
+
+// PairwiseIntersections runs Figure 12.
+func (s *Study) PairwiseIntersections(p world.Platform, m world.Metric, buckets []int) []analysis.PairwiseIntersectionCurve {
+	return analysis.AnalyzePairwiseIntersections(s.Dataset, p, m, s.Month, buckets)
+}

@@ -1,0 +1,100 @@
+package crux
+
+import (
+	"testing"
+
+	"wwb/internal/chrome"
+	"wwb/internal/telemetry"
+	"wwb/internal/world"
+)
+
+var (
+	testWorld   = world.Generate(world.SmallConfig())
+	testDataset = chrome.Assemble(testWorld, telemetry.DefaultConfig(), chrome.Options{
+		PrivacyThreshold: 50,
+		TopN:             10000,
+		DistMonth:        world.Feb2022,
+		Seed:             1,
+		Months:           []world.Month{world.Feb2022},
+	})
+)
+
+func TestBucketFor(t *testing.T) {
+	cases := []struct{ rank, want int }{
+		{1, 1000}, {1000, 1000}, {1001, 5000}, {5000, 5000},
+		{9999, 10000}, {10001, 50000}, {1000000, 1000000}, {1000001, 0},
+	}
+	for _, c := range cases {
+		if got := BucketFor(c.rank); got != c.want {
+			t.Errorf("BucketFor(%d) = %d, want %d", c.rank, got, c.want)
+		}
+	}
+}
+
+func TestExportShape(t *testing.T) {
+	records := Export(testDataset, world.Feb2022)
+	if len(records) == 0 {
+		t.Fatal("no records exported")
+	}
+	// Global scope exists and includes google.com at the top bucket.
+	global := Filter(records, "")
+	if len(global) == 0 {
+		t.Fatal("no global records")
+	}
+	found := false
+	for _, r := range global {
+		if len(r.Domain) > 7 && r.Domain[:7] == "google." && r.Bucket == 1000 {
+			found = true
+		}
+		if r.Bucket == 0 {
+			t.Fatal("bucket 0 should never be emitted")
+		}
+	}
+	if !found {
+		t.Error("a google ccTLD domain should be in the global top-1K bucket")
+	}
+}
+
+func TestExportPerCountry(t *testing.T) {
+	records := Export(testDataset, world.Feb2022)
+	kr := Filter(records, "KR")
+	if len(kr) == 0 {
+		t.Fatal("no KR records")
+	}
+	top := InBucket(records, "KR", 1000)
+	hasNaver := false
+	for _, d := range top {
+		if d == "naver.com" {
+			hasNaver = true
+		}
+	}
+	if !hasNaver {
+		t.Error("naver.com should be in KR's top-1K bucket")
+	}
+}
+
+func TestBucketsMonotone(t *testing.T) {
+	records := Export(testDataset, world.Feb2022)
+	// Within a scope, the count of domains in bucket <= b grows with b
+	// and never exceeds b.
+	for _, scope := range []string{"", "US", "PA"} {
+		prev := 0
+		for _, b := range Buckets {
+			n := len(InBucket(records, scope, b))
+			if n < prev {
+				t.Errorf("%q: bucket %d shrank (%d < %d)", scope, b, n, prev)
+			}
+			if n > b {
+				t.Errorf("%q: bucket %d holds %d domains (> %d)", scope, b, n, b)
+			}
+			prev = n
+		}
+	}
+}
+
+func TestInBucketUnknownScope(t *testing.T) {
+	records := Export(testDataset, world.Feb2022)
+	if got := InBucket(records, "XX", 1000); len(got) != 0 {
+		t.Errorf("unknown scope should be empty, got %d", len(got))
+	}
+}

@@ -1,0 +1,93 @@
+// Package dist models traffic volume per category from rank lists and
+// the global traffic-distribution curves (Sections 4.2.2 and 4.3 of
+// the paper): because traffic is wildly non-uniform across ranks,
+// counting sites per category misrepresents behaviour, so each ranked
+// site is weighted by the share of traffic its rank receives.
+package dist
+
+import (
+	"wwb/internal/chrome"
+	"wwb/internal/taxonomy"
+)
+
+// Categorize maps a domain to its study category.
+type Categorize func(domain string) taxonomy.Category
+
+// CountShare returns each category's fraction of the top-n sites of a
+// list, by simple site count. The fractions over present categories
+// sum to 1 (empty list → empty map).
+func CountShare(l chrome.RankList, n int, categorize Categorize) map[taxonomy.Category]float64 {
+	top := l.TopN(n)
+	if len(top) == 0 {
+		return map[taxonomy.Category]float64{}
+	}
+	out := make(map[taxonomy.Category]float64)
+	for _, e := range top {
+		out[categorize(e.Domain)]++
+	}
+	for c := range out {
+		out[c] /= float64(len(top))
+	}
+	return out
+}
+
+// WeightedShare returns each category's fraction of traffic over the
+// top-n sites of a list, weighting rank r by curve.WeightAt(r) — the
+// paper's model of user traffic per rank. Fractions sum to 1 over the
+// evaluated prefix (empty list or zero weights → empty map).
+func WeightedShare(l chrome.RankList, n int, curve *chrome.DistCurve, categorize Categorize) map[taxonomy.Category]float64 {
+	top := l.TopN(n)
+	out := make(map[taxonomy.Category]float64)
+	var total float64
+	for i, e := range top {
+		w := curve.WeightAt(i + 1)
+		if w <= 0 {
+			continue
+		}
+		out[categorize(e.Domain)] += w
+		total += w
+	}
+	if total == 0 {
+		return map[taxonomy.Category]float64{}
+	}
+	for c := range out {
+		out[c] /= total
+	}
+	return out
+}
+
+// WeightedVolume is WeightedShare without normalisation: the absolute
+// modelled traffic volume per category (used by the platform-diff
+// significance tests, which need comparable volumes, not shares).
+func WeightedVolume(l chrome.RankList, n int, curve *chrome.DistCurve, categorize Categorize) map[taxonomy.Category]float64 {
+	top := l.TopN(n)
+	out := make(map[taxonomy.Category]float64)
+	for i, e := range top {
+		w := curve.WeightAt(i + 1)
+		if w <= 0 {
+			continue
+		}
+		out[categorize(e.Domain)] += w
+	}
+	return out
+}
+
+// AverageShares averages a set of per-country share maps category by
+// category, dividing by the number of maps (absent categories count as
+// zero), which is how the paper takes its "global view of category
+// prevalence".
+func AverageShares(shares []map[taxonomy.Category]float64) map[taxonomy.Category]float64 {
+	out := make(map[taxonomy.Category]float64)
+	if len(shares) == 0 {
+		return out
+	}
+	for _, m := range shares {
+		for c, v := range m {
+			out[c] += v
+		}
+	}
+	for c := range out {
+		out[c] /= float64(len(shares))
+	}
+	return out
+}

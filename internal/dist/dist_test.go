@@ -1,0 +1,132 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"wwb/internal/chrome"
+	"wwb/internal/taxonomy"
+)
+
+func mkList(domains ...string) chrome.RankList {
+	l := make(chrome.RankList, len(domains))
+	for i, d := range domains {
+		l[i] = chrome.Entry{Domain: d, Value: float64(len(domains) - i)}
+	}
+	return l
+}
+
+func catFixed(m map[string]taxonomy.Category) Categorize {
+	return func(d string) taxonomy.Category {
+		if c, ok := m[d]; ok {
+			return c
+		}
+		return taxonomy.Unknown
+	}
+}
+
+var testCat = catFixed(map[string]taxonomy.Category{
+	"s.com": taxonomy.SearchEngines,
+	"v.com": taxonomy.VideoStreaming,
+	"n.com": taxonomy.NewsMedia,
+	"m.com": taxonomy.NewsMedia,
+})
+
+func TestCountShare(t *testing.T) {
+	l := mkList("s.com", "v.com", "n.com", "m.com")
+	got := CountShare(l, 4, testCat)
+	if got[taxonomy.NewsMedia] != 0.5 || got[taxonomy.SearchEngines] != 0.25 {
+		t.Errorf("CountShare = %v", got)
+	}
+	var sum float64
+	for _, v := range got {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("shares sum to %v", sum)
+	}
+}
+
+func TestCountShareTopNTruncates(t *testing.T) {
+	l := mkList("s.com", "v.com", "n.com", "m.com")
+	got := CountShare(l, 2, testCat)
+	if got[taxonomy.NewsMedia] != 0 || got[taxonomy.SearchEngines] != 0.5 || got[taxonomy.VideoStreaming] != 0.5 {
+		t.Errorf("CountShare top2 = %v", got)
+	}
+}
+
+func TestCountShareEmpty(t *testing.T) {
+	if got := CountShare(nil, 10, testCat); len(got) != 0 {
+		t.Errorf("empty list share = %v", got)
+	}
+}
+
+func TestWeightedShare(t *testing.T) {
+	l := mkList("s.com", "v.com", "n.com")
+	curve := chrome.NewDistCurve([]float64{60, 30, 10})
+	got := WeightedShare(l, 3, curve, testCat)
+	if math.Abs(got[taxonomy.SearchEngines]-0.6) > 1e-12 {
+		t.Errorf("search share = %v, want 0.6", got[taxonomy.SearchEngines])
+	}
+	if math.Abs(got[taxonomy.NewsMedia]-0.1) > 1e-12 {
+		t.Errorf("news share = %v, want 0.1", got[taxonomy.NewsMedia])
+	}
+}
+
+func TestWeightedShareListShorterThanCurve(t *testing.T) {
+	l := mkList("s.com")
+	curve := chrome.NewDistCurve([]float64{50, 25, 25})
+	got := WeightedShare(l, 10, curve, testCat)
+	// Only rank 1 evaluated; renormalised to 1.
+	if got[taxonomy.SearchEngines] != 1 {
+		t.Errorf("share = %v, want all on search", got)
+	}
+}
+
+func TestWeightedShareCurveShorterThanList(t *testing.T) {
+	l := mkList("s.com", "v.com", "n.com")
+	curve := chrome.NewDistCurve([]float64{100})
+	got := WeightedShare(l, 3, curve, testCat)
+	if got[taxonomy.SearchEngines] != 1 || len(got) != 1 {
+		t.Errorf("only weighted ranks should contribute: %v", got)
+	}
+}
+
+func TestWeightedShareEmpty(t *testing.T) {
+	curve := chrome.NewDistCurve(nil)
+	if got := WeightedShare(mkList("s.com"), 1, curve, testCat); len(got) != 0 {
+		t.Errorf("zero-weight share = %v", got)
+	}
+}
+
+func TestWeightedVolumeUnnormalised(t *testing.T) {
+	l := mkList("s.com", "v.com")
+	curve := chrome.NewDistCurve([]float64{60, 30, 10})
+	got := WeightedVolume(l, 2, curve, testCat)
+	if math.Abs(got[taxonomy.SearchEngines]-0.6) > 1e-12 || math.Abs(got[taxonomy.VideoStreaming]-0.3) > 1e-12 {
+		t.Errorf("WeightedVolume = %v", got)
+	}
+	var sum float64
+	for _, v := range got {
+		sum += v
+	}
+	if sum >= 1 {
+		t.Error("volumes over a prefix should not be renormalised")
+	}
+}
+
+func TestAverageShares(t *testing.T) {
+	a := map[taxonomy.Category]float64{taxonomy.NewsMedia: 0.4, taxonomy.Gaming: 0.6}
+	b := map[taxonomy.Category]float64{taxonomy.NewsMedia: 0.2}
+	got := AverageShares([]map[taxonomy.Category]float64{a, b})
+	if math.Abs(got[taxonomy.NewsMedia]-0.3) > 1e-12 {
+		t.Errorf("news avg = %v, want 0.3", got[taxonomy.NewsMedia])
+	}
+	// Absent categories count as zero in the average.
+	if math.Abs(got[taxonomy.Gaming]-0.3) > 1e-12 {
+		t.Errorf("gaming avg = %v, want 0.3", got[taxonomy.Gaming])
+	}
+	if len(AverageShares(nil)) != 0 {
+		t.Error("empty input should yield empty map")
+	}
+}

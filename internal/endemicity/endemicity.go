@@ -1,0 +1,171 @@
+// Package endemicity implements Section 5.1 of the paper: website
+// popularity curves across countries, the six characteristic curve
+// shapes (Figure 6 / Table 1), the endemicity score (the area between
+// a site's curve and the flattest possible curve at its best rank),
+// and the outlier-based split into globally vs nationally popular
+// sites (Figure 7, Table 2).
+package endemicity
+
+import (
+	"math"
+	"sort"
+
+	"wwb/internal/stats"
+)
+
+// AbsentRank is the rank assigned for countries whose top list does
+// not contain the site: the lowest possible rank value plus one
+// (Property 4 in the paper; lists are top-10K, so 10,001).
+const AbsentRank = 10001
+
+// Curve is a website popularity curve: the site's per-country ranks
+// sorted ascending (most popular first), with absent countries at
+// AbsentRank, and the inverse-log transform y = -log10(rank).
+type Curve struct {
+	Key string
+	// Ranks is sorted ascending; len == number of countries studied.
+	Ranks []int
+	// Y[i] = -log10(Ranks[i]) — the normalised popularity scale from
+	// ≈0 (rank 1) down to ≈-4 (absent).
+	Y []float64
+}
+
+// NewCurve builds the curve for a site from its per-country ranks.
+// Countries where the site is absent must be encoded by the caller as
+// AbsentRank entries (use BuildCurve for the map-based convenience).
+func NewCurve(key string, ranks []int) Curve {
+	rs := make([]int, len(ranks))
+	copy(rs, ranks)
+	sort.Ints(rs)
+	y := make([]float64, len(rs))
+	for i, r := range rs {
+		if r < 1 {
+			r = 1
+			rs[i] = 1
+		}
+		y[i] = -math.Log10(float64(r))
+	}
+	return Curve{Key: key, Ranks: rs, Y: y}
+}
+
+// BuildCurve constructs a curve from per-country ranks for the given
+// country roster; countries missing from ranks get AbsentRank.
+func BuildCurve(key string, ranks map[string]int, countries []string) Curve {
+	rs := make([]int, len(countries))
+	for i, c := range countries {
+		if r, ok := ranks[c]; ok && r >= 1 {
+			rs[i] = r
+		} else {
+			rs[i] = AbsentRank
+		}
+	}
+	return NewCurve(key, rs)
+}
+
+// BestRank returns the site's best (smallest) rank across countries.
+func (c Curve) BestRank() int {
+	if len(c.Ranks) == 0 {
+		return AbsentRank
+	}
+	return c.Ranks[0]
+}
+
+// PresentIn returns how many countries list the site at all.
+func (c Curve) PresentIn() int {
+	n := 0
+	for _, r := range c.Ranks {
+		if r < AbsentRank {
+			n++
+		}
+	}
+	return n
+}
+
+// Score is the endemicity score E_w: the area between the flattest
+// possible curve at the site's best rank (all countries at rank r1)
+// and the actual curve — Σ_i (y1 - yi). Zero means perfectly global;
+// the maximum (≈180 for 45 countries and top-10K lists) means endemic
+// to a single country.
+func (c Curve) Score() float64 {
+	if len(c.Y) == 0 {
+		return 0
+	}
+	y1 := c.Y[0]
+	var area float64
+	for _, y := range c.Y {
+		area += y1 - y
+	}
+	return area
+}
+
+// MaxScore returns the theoretical maximum endemicity for a site whose
+// best rank is r1 over n countries: present at r1 in exactly one
+// country and absent everywhere else.
+func MaxScore(r1, n int) float64 {
+	if r1 < 1 {
+		r1 = 1
+	}
+	if n < 2 {
+		return 0
+	}
+	return float64(n-1) * (math.Log10(AbsentRank) - math.Log10(float64(r1)))
+}
+
+// BoundDistance returns the distance between the site's endemicity
+// score and the theoretical maximum at its best rank — the quantity
+// the paper runs outlier detection on: nationally popular sites hug
+// the bound (small distance); globally popular sites sit far below it.
+func (c Curve) BoundDistance() float64 {
+	return MaxScore(c.BestRank(), len(c.Ranks)) - c.Score()
+}
+
+// Label says whether a site is globally or nationally popular.
+type Label int
+
+// Classification outcomes.
+const (
+	National Label = iota
+	Global
+)
+
+// String implements fmt.Stringer.
+func (l Label) String() string {
+	if l == Global {
+		return "global"
+	}
+	return "national"
+}
+
+// Classify splits curves into globally vs nationally popular sites by
+// outlier detection on the bound distances (Figure 7): the
+// distribution is dominated by bound-hugging national sites, so the
+// far-from-bound global sites are the outliers, ≈2 % of the population
+// in the paper (Table 2).
+//
+// Each distance is first normalised by the site's own theoretical
+// maximum score, making sites at different best ranks comparable; a
+// site is labelled global when it is both an IQR far-outlier among the
+// normalised distances and more than half way from the bound toward
+// perfect global flatness. The floor guards against the heavy right
+// skew of the distance distribution (language-cluster spill puts many
+// national sites a moderate distance from the bound, which naive
+// outlier detection over-flags).
+func Classify(curves []Curve) []Label {
+	rel := make([]float64, len(curves))
+	for i, c := range curves {
+		max := MaxScore(c.BestRank(), len(c.Ranks))
+		if max <= 0 {
+			rel[i] = 0
+			continue
+		}
+		rel[i] = c.BoundDistance() / max
+	}
+	flags := stats.IQROutliers(rel, 3.0)
+	labels := make([]Label, len(curves))
+	for i := range curves {
+		if flags[i] && rel[i] > 0.5 {
+			labels[i] = Global
+		}
+	}
+	return labels
+}

@@ -1,0 +1,242 @@
+package endemicity
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func flatRanks(n, rank int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = rank
+	}
+	return out
+}
+
+func TestNewCurveSortsAndTransforms(t *testing.T) {
+	c := NewCurve("x", []int{100, 1, 10})
+	if c.Ranks[0] != 1 || c.Ranks[1] != 10 || c.Ranks[2] != 100 {
+		t.Errorf("ranks not sorted: %v", c.Ranks)
+	}
+	if c.Y[0] != 0 || math.Abs(c.Y[1]+1) > 1e-12 || math.Abs(c.Y[2]+2) > 1e-12 {
+		t.Errorf("Y transform wrong: %v", c.Y)
+	}
+}
+
+func TestNewCurveClampsBadRanks(t *testing.T) {
+	c := NewCurve("x", []int{0, -5, 3})
+	for _, r := range c.Ranks {
+		if r < 1 {
+			t.Errorf("rank %d below 1", r)
+		}
+	}
+}
+
+func TestBuildCurveAbsentCountries(t *testing.T) {
+	countries := []string{"US", "BR", "JP"}
+	c := BuildCurve("x", map[string]int{"US": 5}, countries)
+	if c.Ranks[0] != 5 || c.Ranks[1] != AbsentRank || c.Ranks[2] != AbsentRank {
+		t.Errorf("absent encoding wrong: %v", c.Ranks)
+	}
+	if c.PresentIn() != 1 {
+		t.Errorf("PresentIn = %d, want 1", c.PresentIn())
+	}
+}
+
+func TestScoreFlatCurveIsZero(t *testing.T) {
+	c := NewCurve("flat", flatRanks(45, 7))
+	if got := c.Score(); got != 0 {
+		t.Errorf("flat curve score = %v, want 0 (Property 1)", got)
+	}
+}
+
+func TestScoreSingleCountryIsMax(t *testing.T) {
+	ranks := flatRanks(45, AbsentRank)
+	ranks[0] = 1
+	c := NewCurve("endemic", ranks)
+	want := MaxScore(1, 45)
+	if math.Abs(c.Score()-want) > 1e-9 {
+		t.Errorf("endemic score = %v, want max %v", c.Score(), want)
+	}
+	// The paper: score range is 0–180.
+	if want < 170 || want > 180 {
+		t.Errorf("max score at rank 1 = %v, want ≈176 (paper: 0–180)", want)
+	}
+}
+
+func TestScoreMonotoneInSpread(t *testing.T) {
+	// A site popular in 10 countries scores lower than one popular in
+	// a single country, all else equal.
+	many := flatRanks(45, AbsentRank)
+	few := flatRanks(45, AbsentRank)
+	for i := 0; i < 10; i++ {
+		many[i] = 5
+	}
+	few[0] = 5
+	if NewCurve("many", many).Score() >= NewCurve("few", few).Score() {
+		t.Error("broader presence must lower endemicity (Property 2)")
+	}
+}
+
+func TestScoreAmplifiesHeadDifferences(t *testing.T) {
+	// Property 3: rank 1 vs 10 differs more than 9990 vs 9999.
+	a := []int{1, AbsentRank}
+	b := []int{10, AbsentRank}
+	cDiffHead := math.Abs(NewCurve("a", a).Score() - NewCurve("b", b).Score())
+	c := []int{9990, AbsentRank}
+	d := []int{9999, AbsentRank}
+	cDiffTail := math.Abs(NewCurve("c", c).Score() - NewCurve("d", d).Score())
+	if cDiffHead <= cDiffTail {
+		t.Errorf("head differences should be amplified: head %v vs tail %v", cDiffHead, cDiffTail)
+	}
+}
+
+func TestScoreNonNegativeProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 || len(raw) > 45 {
+			return true
+		}
+		ranks := make([]int, len(raw))
+		for i, r := range raw {
+			ranks[i] = 1 + int(r)%AbsentRank
+		}
+		c := NewCurve("p", ranks)
+		return c.Score() >= 0 && c.Score() <= MaxScore(c.BestRank(), len(ranks))+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundDistance(t *testing.T) {
+	// A fully endemic site has distance 0 from the bound.
+	ranks := flatRanks(45, AbsentRank)
+	ranks[0] = 3
+	c := NewCurve("endemic", ranks)
+	if d := c.BoundDistance(); math.Abs(d) > 1e-9 {
+		t.Errorf("endemic bound distance = %v, want 0", d)
+	}
+	// A perfectly global site is as far from the bound as possible.
+	g := NewCurve("global", flatRanks(45, 3))
+	if g.BoundDistance() <= c.BoundDistance() {
+		t.Error("global site should be farther from the bound")
+	}
+}
+
+func TestClassifyFindsGlobalOutliers(t *testing.T) {
+	// 96 endemic sites + 4 global sites: the globals are outliers.
+	var curves []Curve
+	for i := 0; i < 96; i++ {
+		ranks := flatRanks(45, AbsentRank)
+		ranks[0] = 2 + i*7%900
+		// A couple of spill countries near the bound.
+		ranks[1] = 5000 + i*13%5000
+		curves = append(curves, NewCurve("nat", ranks))
+	}
+	for i := 0; i < 4; i++ {
+		curves = append(curves, NewCurve("glob", flatRanks(45, 2+i)))
+	}
+	labels := Classify(curves)
+	for i := 0; i < 96; i++ {
+		if labels[i] != National {
+			t.Errorf("national curve %d labelled global", i)
+		}
+	}
+	for i := 96; i < 100; i++ {
+		if labels[i] != Global {
+			t.Errorf("global curve %d labelled national", i)
+		}
+	}
+}
+
+func TestClassifyEmptyAndLabels(t *testing.T) {
+	if got := Classify(nil); len(got) != 0 {
+		t.Error("empty classify should be empty")
+	}
+	if National.String() != "national" || Global.String() != "global" {
+		t.Error("label strings wrong")
+	}
+}
+
+func TestClassifyShapeArchetypes(t *testing.T) {
+	n := 45
+	cases := []struct {
+		name  string
+		ranks []int
+		want  Shape
+	}{
+		{"google-like flat", flatRanks(n, 2), ShapeGlobalFlat},
+		{"endemic giant", func() []int {
+			r := flatRanks(n, AbsentRank)
+			r[0] = 1
+			return r
+		}(), ShapeSteepDrop},
+		{"global middle class", flatRanks(n, 5000), ShapeUniformTail},
+		{"sparse regional", func() []int {
+			r := flatRanks(n, AbsentRank)
+			for i := 0; i < 8; i++ {
+				r[i] = 500 + i*200
+			}
+			return r
+		}(), ShapeSparse},
+		{"hbomax-like plateau", func() []int {
+			r := flatRanks(n, AbsentRank)
+			// Strong plateau across ~20 countries.
+			for i := 0; i < 20; i++ {
+				r[i] = 40 + i
+			}
+			// Weak straggler presence elsewhere.
+			for i := 20; i < 28; i++ {
+				r[i] = 8000
+			}
+			return r
+		}(), ShapeRegionalPlateau},
+	}
+	for _, c := range cases {
+		if got := ClassifyShape(NewCurve(c.name, c.ranks)); got != c.want {
+			t.Errorf("%s: shape = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestClassifyShapeGradualDecline(t *testing.T) {
+	// Declining steadily over most countries, present in ~60%.
+	ranks := flatRanks(45, AbsentRank)
+	for i := 0; i < 27; i++ {
+		ranks[i] = 10 * (1 << (uint(i) / 3)) // grows steadily
+		if ranks[i] > 10000 {
+			ranks[i] = 10000
+		}
+	}
+	got := ClassifyShape(NewCurve("decline", ranks))
+	if got != ShapeGradualDecline && got != ShapeRegionalPlateau {
+		t.Errorf("shape = %v, want a declining family", got)
+	}
+}
+
+func TestShapeStringsDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range Shapes {
+		str := s.String()
+		if str == "" || str == "unknown-shape" || seen[str] {
+			t.Errorf("bad shape string %q", str)
+		}
+		seen[str] = true
+	}
+	if Shape(99).String() != "unknown-shape" {
+		t.Error("out-of-range shape string wrong")
+	}
+}
+
+func TestMaxScoreEdges(t *testing.T) {
+	if MaxScore(1, 1) != 0 {
+		t.Error("single country max score should be 0")
+	}
+	if MaxScore(0, 45) != MaxScore(1, 45) {
+		t.Error("rank below 1 should clamp")
+	}
+	if MaxScore(AbsentRank, 45) != 0 {
+		t.Error("best rank at absent should have zero max")
+	}
+}

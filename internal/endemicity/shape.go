@@ -1,0 +1,108 @@
+package endemicity
+
+// Shape is one of the six characteristic popularity-curve shapes the
+// paper identifies (Figure 6, Table 1).
+type Shape int
+
+// The six shapes. Descriptions paraphrase Table 1.
+const (
+	// ShapeGlobalFlat: shallow slope, similar rank presence in every
+	// country (google, facebook).
+	ShapeGlobalFlat Shape = iota
+	// ShapeGradualDecline: steadily declining popularity across
+	// countries without a sharp break (popular many places, strong in
+	// some).
+	ShapeGradualDecline
+	// ShapeRegionalPlateau: consistently popular in a group of
+	// countries, then a sharp fall (hbomax — the multi-inflection
+	// regional pattern).
+	ShapeRegionalPlateau
+	// ShapeSteepDrop: highly ranked in one or two countries and
+	// effectively absent elsewhere (endemic national giants).
+	ShapeSteepDrop
+	// ShapeUniformTail: present in many countries but never highly
+	// ranked — the global middle class of the web.
+	ShapeUniformTail
+	// ShapeSparse: appears in only a handful of countries at modest
+	// ranks; the long tail of regional sites.
+	ShapeSparse
+)
+
+// String implements fmt.Stringer.
+func (s Shape) String() string {
+	switch s {
+	case ShapeGlobalFlat:
+		return "global-flat"
+	case ShapeGradualDecline:
+		return "gradual-decline"
+	case ShapeRegionalPlateau:
+		return "regional-plateau"
+	case ShapeSteepDrop:
+		return "steep-drop"
+	case ShapeUniformTail:
+		return "uniform-tail"
+	case ShapeSparse:
+		return "sparse"
+	default:
+		return "unknown-shape"
+	}
+}
+
+// Shapes lists all six shapes in canonical order.
+var Shapes = []Shape{
+	ShapeGlobalFlat, ShapeGradualDecline, ShapeRegionalPlateau,
+	ShapeSteepDrop, ShapeUniformTail, ShapeSparse,
+}
+
+// ClassifyShape assigns one of the six shapes to a curve using simple
+// geometric features: presence breadth, head strength, and where the
+// curve falls off.
+func ClassifyShape(c Curve) Shape {
+	n := len(c.Ranks)
+	if n == 0 {
+		return ShapeSparse
+	}
+	present := c.PresentIn()
+	frac := float64(present) / float64(n)
+	best := c.BestRank()
+
+	// Span of the present part of the curve.
+	spread := 0.0
+	if present > 0 {
+		spread = c.Y[0] - c.Y[present-1]
+	}
+
+	switch {
+	case frac >= 0.9 && best > 1000:
+		// Everywhere but never near the head.
+		return ShapeUniformTail
+	case frac >= 0.9 && spread <= 1.5:
+		// Everywhere, similar rank: the flat global curve.
+		return ShapeGlobalFlat
+	case frac <= 0.15 && best <= 1000:
+		// Strong in very few countries, absent elsewhere.
+		return ShapeSteepDrop
+	case frac <= 0.35:
+		return ShapeSparse
+	case plateauThenDrop(c, present):
+		return ShapeRegionalPlateau
+	default:
+		return ShapeGradualDecline
+	}
+}
+
+// plateauThenDrop detects the multi-inflection pattern: a flat-ish
+// head segment over several countries followed by a fall of more than
+// a decade in rank.
+func plateauThenDrop(c Curve, present int) bool {
+	if present < 6 {
+		return false
+	}
+	k := present / 3
+	if k < 3 {
+		k = 3
+	}
+	headSpread := c.Y[0] - c.Y[k-1]
+	tailDrop := c.Y[k-1] - c.Y[present-1]
+	return headSpread <= 0.5 && tailDrop >= 1.0
+}

@@ -1,0 +1,114 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation from a Study, as printable text: the same rows
+// and series the paper reports, in the same units. The registry maps
+// experiment IDs (fig1, table2, sec4.4, ...) to renderers so the
+// command-line harness and the benchmark suite share one
+// implementation. EXPERIMENTS.md records paper-vs-measured values for
+// each ID.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wwb/internal/core"
+)
+
+// Runner renders experiments for one study.
+type Runner struct {
+	Study *core.Study
+}
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	ID          string
+	Title       string
+	Render      func(r Runner) string
+	description string
+}
+
+// registry holds the experiments in presentation order.
+var registry = []Experiment{
+	{ID: "fig1", Title: "Figure 1: Distribution of traffic across sites", Render: Runner.Fig1},
+	{ID: "sec4.1", Title: "Section 4.1: Concentration headlines", Render: Runner.Sec41},
+	{ID: "fig2", Title: "Figure 2: Types of websites receiving most traffic", Render: Runner.Fig2},
+	{ID: "table4", Title: "Table 4 / Section 4.2.1: Top-10 composition across countries", Render: Runner.Table4},
+	{ID: "fig3", Title: "Figure 3: Category prevalence by rank", Render: Runner.Fig3},
+	{ID: "fig14", Title: "Figure 14: Category prevalence by rank, split by metric", Render: Runner.Fig14},
+	{ID: "fig4", Title: "Figure 4: Desktop vs. mobile categories (page loads)", Render: Runner.Fig4},
+	{ID: "fig15", Title: "Figure 15: Desktop vs. mobile categories (time on page)", Render: Runner.Fig15},
+	{ID: "sec4.4", Title: "Section 4.4: Page loads vs. time on page agreement", Render: Runner.Sec44},
+	{ID: "fig5", Title: "Figure 5: Metric-leaning site categories (desktop)", Render: Runner.Fig5},
+	{ID: "fig16", Title: "Figure 16: Metric-leaning site categories (mobile)", Render: Runner.Fig16},
+	{ID: "sec4.5", Title: "Section 4.5: Temporal stability", Render: Runner.Sec45},
+	{ID: "fig6", Title: "Figure 6 / Table 1: Website popularity curve shapes", Render: Runner.Fig6},
+	{ID: "fig7", Title: "Figure 7: Endemicity score distribution", Render: Runner.Fig7},
+	{ID: "table2", Title: "Table 2: Rarity of globally popular websites", Render: Runner.Table2},
+	{ID: "fig8", Title: "Figure 8: Categories of globally vs. nationally popular sites", Render: Runner.Fig8},
+	{ID: "fig9", Title: "Figure 9: Globally popular sites by rank bucket (page loads)", Render: Runner.Fig9},
+	{ID: "fig17", Title: "Figure 17: Globally popular sites by rank bucket (time)", Render: Runner.Fig17},
+	{ID: "fig10", Title: "Figure 10: Country similarity, Windows page loads", Render: Runner.Fig10},
+	{ID: "fig18", Title: "Figure 18: Country similarity, Windows time on page", Render: Runner.Fig18},
+	{ID: "fig19", Title: "Figure 19: Country similarity, Android page loads", Render: Runner.Fig19},
+	{ID: "fig20", Title: "Figure 20: Country similarity, Android time on page", Render: Runner.Fig20},
+	{ID: "fig11", Title: "Figure 11 / 21: Country clusters and silhouettes", Render: Runner.Fig11},
+	{ID: "fig12", Title: "Figure 12: Pairwise intersection by rank bucket", Render: Runner.Fig12},
+	{ID: "fig13", Title: "Figure 13: Category API accuracy analysis", Render: Runner.Fig13},
+	{ID: "table3", Title: "Table 3: Final category taxonomy", Render: Runner.Table3},
+}
+
+// IDs returns the experiment IDs in presentation order.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Run renders one experiment by ID.
+func (r Runner) Run(id string) (string, error) {
+	e, ok := Lookup(id)
+	if !ok {
+		return "", fmt.Errorf("experiments: unknown id %q (known: %s)", id, strings.Join(IDs(), ", "))
+	}
+	return e.Title + "\n" + e.Render(r), nil
+}
+
+// RunAll renders every experiment in order.
+func (r Runner) RunAll() string {
+	var b strings.Builder
+	for _, e := range registry {
+		b.WriteString(e.Title)
+		b.WriteString("\n")
+		b.WriteString(e.Render(r))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// sortedCategories returns map keys ordered by descending value.
+func sortedByValue[K comparable](m map[K]float64) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if m[keys[i]] != m[keys[j]] {
+			return m[keys[i]] > m[keys[j]]
+		}
+		return fmt.Sprint(keys[i]) < fmt.Sprint(keys[j])
+	})
+	return keys
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFiguresRender(t *testing.T) {
+	figs := testRunner.Figures()
+	if len(figs) != 6 {
+		t.Fatalf("figures = %d, want 6", len(figs))
+	}
+	seen := map[string]bool{}
+	for _, f := range figs {
+		if f.ID == "" || f.Title == "" {
+			t.Errorf("figure missing metadata: %+v", f.ID)
+		}
+		if seen[f.ID] {
+			t.Errorf("duplicate figure id %s", f.ID)
+		}
+		seen[f.ID] = true
+		if !strings.HasPrefix(f.SVG, "<svg") || !strings.Contains(f.SVG, "</svg>") {
+			t.Errorf("%s: not an SVG", f.ID)
+		}
+		if len(f.SVG) < 500 {
+			t.Errorf("%s: suspiciously small SVG (%d bytes)", f.ID, len(f.SVG))
+		}
+	}
+}
+
+func TestFig7SVGHasBothGroups(t *testing.T) {
+	f := testRunner.Fig7SVG()
+	if !strings.Contains(f.SVG, "nationally popular") || !strings.Contains(f.SVG, "globally popular") {
+		t.Error("endemicity scatter missing group legends")
+	}
+	if strings.Count(f.SVG, "<circle") < 1000 {
+		t.Errorf("scatter has only %d points", strings.Count(f.SVG, "<circle"))
+	}
+}
+
+func TestFig10SVGDimensions(t *testing.T) {
+	f := testRunner.Fig10SVG()
+	// 45 × 45 cells.
+	if got := strings.Count(f.SVG, "<rect"); got != 45*45 {
+		t.Errorf("heatmap cells = %d, want 2025", got)
+	}
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"wwb/internal/analysis"
+	"wwb/internal/report"
+	"wwb/internal/world"
+)
+
+// Sec532 reproduces the paper's Section 5.3.2 qualitative pass: the
+// top-10 roster of the outlier countries with each site's reach, and
+// the ranking of countries by how endemic their head is (the South
+// Korea finding).
+func (r Runner) Sec532() string {
+	var b strings.Builder
+	for _, country := range []string{"KR", "JP", "RU", "US"} {
+		prof := analysis.AnalyzeCountryProfile(r.Study.Dataset, r.Study.Categorize,
+			country, world.Windows, world.PageLoads, r.Study.Month)
+		t := report.NewTable(
+			fmt.Sprintf("%s top-10 (Windows page loads)", country),
+			"rank", "domain", "category", "listed in", "top-10 in")
+		for _, row := range prof.TopTen {
+			t.AddRow(report.Itoa(row.Rank), row.Domain, string(row.Category),
+				fmt.Sprintf("%d countries", row.CountriesListing),
+				fmt.Sprintf("%d countries", row.TopTenIn))
+		}
+		b.WriteString(t.String())
+		fmt.Fprintf(&b, "%s: %d/10 top sites are top-10 nowhere else; %d distinct categories\n\n",
+			country, prof.EndemicTopTen, prof.DistinctCategories)
+	}
+
+	ranks := analysis.RankCountriesByEndemicHead(r.Study.Dataset, r.Study.Categorize,
+		world.Windows, world.PageLoads, r.Study.Month)
+	t := report.NewTable("countries with the most endemic top-10s",
+		"country", "endemic top-10 sites")
+	for i, row := range ranks {
+		if i >= 8 {
+			break
+		}
+		t.AddRow(row.Country, report.Itoa(row.EndemicTopTen))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// Fig1Fit extends Figure 1 with the log-log power-law fit of each
+// distribution curve (the paper plots Figure 1 on log-log axes; the
+// fitted exponent is the concentration in one number).
+func (r Runner) Fig1Fit() string {
+	t := report.NewTable("power-law fit of the traffic distribution, ranks 10-10000",
+		"platform", "metric", "alpha", "R²")
+	for _, p := range world.Platforms {
+		for _, m := range world.Metrics {
+			curve := r.Study.Dataset.Dist(p, m)
+			fit := analysis.FitPowerLaw(curve, 10, 10000)
+			t.AddRow(p.String(), m.String(), report.F3(fit.Alpha), report.F3(fit.R2))
+		}
+	}
+	return t.String()
+}
+
+func init() {
+	registry = append(registry,
+		Experiment{ID: "sec5.3", Title: "Section 5.3.2: Country profiles and endemic heads (extension)", Render: Runner.Sec532},
+		Experiment{ID: "fig1-fit", Title: "Figure 1 (log-log): power-law fit of traffic distribution (extension)", Render: Runner.Fig1Fit},
+	)
+}

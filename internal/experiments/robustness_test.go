@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"wwb/internal/core"
+)
+
+func TestHeadlineStats(t *testing.T) {
+	h := Headline(testRunner.Study)
+	if h.GlobalTop1 <= 0 || h.GlobalTop1 >= 1 {
+		t.Errorf("global top-1 = %v", h.GlobalTop1)
+	}
+	if h.GoogleTopCountries < 40 {
+		t.Errorf("google #1 in %d countries", h.GoogleTopCountries)
+	}
+	if h.Clusters < 2 {
+		t.Errorf("clusters = %d", h.Clusters)
+	}
+	if h.EndemicToOneCountry <= 0 || h.EndemicToOneCountry >= 1 {
+		t.Errorf("endemic-to-one = %v", h.EndemicToOneCountry)
+	}
+}
+
+func TestRobustnessSweepAndRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep rebuilds studies")
+	}
+	cfg := core.SmallConfig().FebOnly()
+	rows := RobustnessSweep(cfg, []uint64{7, 8})
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Seed != 7 || rows[1].Seed != 8 {
+		t.Error("seeds not propagated")
+	}
+	// The headline structure must be robust to the seed, not a
+	// single-seed coincidence.
+	for _, r := range rows {
+		if r.GoogleTopCountries < 40 {
+			t.Errorf("seed %d: google #1 in %d countries", r.Seed, r.GoogleTopCountries)
+		}
+		if r.YouTubeTimeTop < 30 {
+			t.Errorf("seed %d: youtube time #1 in %d countries", r.Seed, r.YouTubeTimeTop)
+		}
+		if r.SearchLoadShare < 0.15 {
+			t.Errorf("seed %d: search loads share %v", r.Seed, r.SearchLoadShare)
+		}
+	}
+	out := RenderRobustness(rows)
+	if !strings.Contains(out, "seed") || !strings.Contains(out, "paper:") {
+		t.Error("rendering malformed")
+	}
+}

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wwb/internal/endemicity"
+	"wwb/internal/report"
+	"wwb/internal/stats"
+	"wwb/internal/taxonomy"
+	"wwb/internal/world"
+)
+
+// Fig6 renders the popularity-curve shape census (Table 1).
+func (r Runner) Fig6() string {
+	res := r.Study.Endemicity(world.Windows, world.PageLoads)
+	t := report.NewTable("website popularity curve shapes (Windows page loads)",
+		"shape", "sites", "share")
+	total := len(res.Curves)
+	for _, s := range endemicity.Shapes {
+		n := res.ShapeCounts[s]
+		t.AddRow(s.String(), report.Itoa(n), report.Pct(float64(n)/float64(total)))
+	}
+	return t.String()
+}
+
+// Fig7 renders the endemicity-score distribution summary.
+func (r Runner) Fig7() string {
+	res := r.Study.Endemicity(world.Windows, world.PageLoads)
+	var scores, globalScores, nationalScores []float64
+	for i, c := range res.Curves {
+		s := c.Score()
+		scores = append(scores, s)
+		if res.Labels[i] == endemicity.Global {
+			globalScores = append(globalScores, s)
+		} else {
+			nationalScores = append(nationalScores, s)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "sites scored: %d (top-%d entry bar)\n", len(scores), 1000)
+	q1, med, q3 := stats.Quartiles(scores)
+	fmt.Fprintf(&b, "endemicity score quartiles: q1=%.1f median=%.1f q3=%.1f (scale 0-%d)\n",
+		q1, med, q3, int(endemicity.MaxScore(1, 45))+1)
+	fmt.Fprintf(&b, "globally popular: %d (median score %.1f)\n",
+		len(globalScores), stats.Median(globalScores))
+	fmt.Fprintf(&b, "nationally popular: %d (median score %.1f)\n",
+		len(nationalScores), stats.Median(nationalScores))
+	fmt.Fprintf(&b, "sites in top-1K of one country absent from every other top-10K: %s (paper: 53.9%%)\n",
+		report.Pct(res.EndemicToOneCountry))
+	return b.String()
+}
+
+// Table2 renders the global/national rarity per platform × metric.
+func (r Runner) Table2() string {
+	t := report.NewTable("rarity of globally popular websites",
+		"platform", "metric", "scored sites", "global", "national", "% global")
+	for _, p := range world.Platforms {
+		for _, m := range world.Metrics {
+			res := r.Study.Endemicity(p, m)
+			total := len(res.Curves)
+			globals := 0
+			for _, l := range res.Labels {
+				if l == endemicity.Global {
+					globals++
+				}
+			}
+			t.AddRow(p.String(), m.String(), report.Itoa(total),
+				report.Itoa(globals), report.Itoa(total-globals),
+				report.Pct(res.GlobalShare))
+		}
+	}
+	return t.String()
+}
+
+// Fig8 renders the categories of globally vs nationally popular sites.
+func (r Runner) Fig8() string {
+	var b strings.Builder
+	for _, p := range world.Platforms {
+		res := r.Study.Endemicity(p, world.PageLoads)
+		globTotal, natTotal := 0, 0
+		for _, byLabel := range res.CategoryLabelCounts {
+			globTotal += byLabel[endemicity.Global]
+			natTotal += byLabel[endemicity.National]
+		}
+		globShare := map[taxonomy.Category]float64{}
+		natShare := map[taxonomy.Category]float64{}
+		for cat, byLabel := range res.CategoryLabelCounts {
+			if globTotal > 0 {
+				globShare[cat] = float64(byLabel[endemicity.Global]) / float64(globTotal)
+			}
+			if natTotal > 0 {
+				natShare[cat] = float64(byLabel[endemicity.National]) / float64(natTotal)
+			}
+		}
+		t := report.NewTable(
+			fmt.Sprintf("category mix of global vs national sites, %s page loads", p),
+			"category", "% of global sites", "% of national sites")
+		for i, cat := range sortedByValue(globShare) {
+			if i >= 10 {
+				break
+			}
+			t.AddRow(string(cat), report.Pct(globShare[cat]), report.Pct(natShare[cat]))
+		}
+		b.WriteString(t.String())
+	}
+	return b.String()
+}
+
+// Fig9 renders globally-popular share by rank bucket (page loads).
+func (r Runner) Fig9() string {
+	return r.globalByBucket(world.PageLoads)
+}
+
+// Fig17 renders the same for time on page.
+func (r Runner) Fig17() string {
+	return r.globalByBucket(world.TimeOnPage)
+}
+
+func (r Runner) globalByBucket(m world.Metric) string {
+	buckets := r.Study.GlobalShareByBucket(world.Windows, m)
+	t := report.NewTable(
+		fmt.Sprintf("share of globally popular sites per rank bucket, Windows %s", m),
+		"ranks", "median", "q1", "q3")
+	for _, b := range buckets {
+		t.AddRow(fmt.Sprintf("%d-%d", b.Lo, b.Hi),
+			report.Pct(b.Median), report.Pct(b.Q1), report.Pct(b.Q3))
+	}
+	return t.String()
+}
+
+// Fig10, Fig18–20 render the four country-similarity heatmaps.
+func (r Runner) Fig10() string { return r.similarity(world.Windows, world.PageLoads) }
+
+// Fig18 is Windows time on page.
+func (r Runner) Fig18() string { return r.similarity(world.Windows, world.TimeOnPage) }
+
+// Fig19 is Android page loads.
+func (r Runner) Fig19() string { return r.similarity(world.Android, world.PageLoads) }
+
+// Fig20 is Android time on page.
+func (r Runner) Fig20() string { return r.similarity(world.Android, world.TimeOnPage) }
+
+func (r Runner) similarity(p world.Platform, m world.Metric) string {
+	sm := r.Study.CountrySimilarity(p, m)
+	var b strings.Builder
+	report.Heatmap(&b, fmt.Sprintf("traffic-weighted RBO, %s %s (values ×100)", p, m),
+		sm.Countries, sm.Sim)
+	// Scalar summaries for quick comparison.
+	var vals []float64
+	for i := range sm.Sim {
+		for j := i + 1; j < len(sm.Sim); j++ {
+			vals = append(vals, sm.Sim[i][j])
+		}
+	}
+	q1, med, q3 := stats.Quartiles(vals)
+	fmt.Fprintf(&b, "pairwise similarity quartiles: q1=%.2f median=%.2f q3=%.2f\n", q1, med, q3)
+	return b.String()
+}
+
+// Fig11 renders the affinity-propagation clusters with silhouettes.
+func (r Runner) Fig11() string {
+	res := r.Study.CountryClusters(world.Windows, world.PageLoads)
+	t := report.NewTable("affinity propagation clusters (Windows page loads)",
+		"exemplar", "members", "silhouette")
+	for _, c := range res.Clusters {
+		t.AddRow(c.Exemplar, strings.Join(c.Members, " "), report.F2(c.Silhouette))
+	}
+	out := t.String()
+	out += fmt.Sprintf("clusters: %d, average silhouette: %.2f (paper: 11 clusters, SC 0.11), converged: %v\n",
+		len(res.Clusters), res.AvgSilhouette, res.Converged)
+	return out
+}
+
+// Fig12 renders the cumulative pairwise-intersection curves.
+func (r Runner) Fig12() string {
+	buckets := []int{10, 100, 1000, 10000}
+	curves := r.Study.PairwiseIntersections(world.Windows, world.PageLoads, buckets)
+	t := report.NewTable("pairwise country intersection by rank bucket (990 pairs)",
+		"bucket", "mean", "p10 pair", "median pair", "p90 pair")
+	for _, c := range curves {
+		// Recover per-pair values from the cumulative series.
+		vals := make([]float64, len(c.Cumulative))
+		prev := 0.0
+		for i, cum := range c.Cumulative {
+			vals[i] = cum - prev
+			prev = cum
+		}
+		sort.Float64s(vals)
+		n := len(vals)
+		t.AddRow(report.Itoa(c.Bucket), report.Pct(c.Mean),
+			report.Pct(vals[n/10]), report.Pct(vals[n/2]), report.Pct(vals[9*n/10]))
+	}
+	return t.String()
+}

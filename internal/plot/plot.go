@@ -1,0 +1,298 @@
+// Package plot renders the study's figures as standalone SVG: line
+// charts (Figure 1's distribution curves, Figure 3's prevalence
+// sweeps), bar charts (Figure 4's platform scores), scatter plots
+// (Figure 7's endemicity distribution) and heatmaps (Figure 10's
+// country similarities). Everything is plain SVG 1.1 with no scripts,
+// suitable for embedding in the wwbreport HTML report.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Size is the default chart viewport.
+const (
+	defaultWidth  = 640
+	defaultHeight = 360
+	marginLeft    = 64
+	marginRight   = 16
+	marginTop     = 28
+	marginBottom  = 44
+)
+
+// Series is one named line on a chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Line renders series as a line chart. When logX/logY are set the
+// corresponding axis is log10-scaled (non-positive values are
+// dropped). Colors cycle through a fixed palette.
+func Line(title, xlabel, ylabel string, series []Series, logX, logY bool) string {
+	var pts []Series
+	for _, s := range series {
+		var xs, ys []float64
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if logX {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log10(x)
+			}
+			if logY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			xs = append(xs, x)
+			ys = append(ys, y)
+		}
+		pts = append(pts, Series{Name: s.Name, X: xs, Y: ys})
+	}
+	minX, maxX, minY, maxY := bounds(pts)
+
+	var b strings.Builder
+	openSVG(&b, title)
+	axes(&b, xlabel, ylabel, minX, maxX, minY, maxY, logX, logY)
+	for i, s := range pts {
+		if len(s.X) == 0 {
+			continue
+		}
+		var poly strings.Builder
+		for j := range s.X {
+			px, py := project(s.X[j], s.Y[j], minX, maxX, minY, maxY)
+			fmt.Fprintf(&poly, "%.1f,%.1f ", px, py)
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.8" points="%s"/>`+"\n",
+			color(i), strings.TrimSpace(poly.String()))
+		// Legend entry.
+		lx := float64(marginLeft + 8)
+		ly := float64(marginTop + 14 + i*16)
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="10" height="10" fill="%s"/>`+"\n", lx, ly-9, color(i))
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11">%s</text>`+"\n", lx+14, ly, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// Bar renders a horizontal bar chart with signed values centred at
+// zero (Figure 4's platform-difference scores).
+func Bar(title string, labels []string, values []float64) string {
+	var b strings.Builder
+	n := len(labels)
+	rowH := 18.0
+	height := marginTop + int(rowH*float64(n)) + marginBottom
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n",
+		defaultWidth, height)
+	fmt.Fprintf(&b, `<text x="%d" y="18" font-size="13" font-weight="bold">%s</text>`+"\n", marginLeft, escape(title))
+
+	maxAbs := 1e-9
+	for _, v := range values {
+		if math.Abs(v) > maxAbs {
+			maxAbs = math.Abs(v)
+		}
+	}
+	mid := float64(marginLeft) + float64(defaultWidth-marginLeft-marginRight)/2
+	scale := (float64(defaultWidth-marginLeft-marginRight) / 2) / maxAbs
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#999"/>`+"\n",
+		mid, marginTop, mid, height-marginBottom)
+	for i := 0; i < n; i++ {
+		y := float64(marginTop) + rowH*float64(i)
+		w := values[i] * scale
+		x := mid
+		fill := "#2f7ed8"
+		if w < 0 {
+			x = mid + w
+			w = -w
+			fill = "#c0504d"
+		}
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+			x, y+3, w, rowH-6, fill)
+		fmt.Fprintf(&b, `<text x="4" y="%.1f" font-size="10">%s</text>`+"\n", y+rowH-5, escape(labels[i]))
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="10">%.2f</text>`+"\n",
+			mid+float64(defaultWidth-marginLeft-marginRight)/2-34, y+rowH-5, values[i])
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// Scatter renders points, optionally split into labelled groups with
+// distinct colors (Figure 7's global/national split).
+func Scatter(title, xlabel, ylabel string, groups []Series, logX bool) string {
+	var pts []Series
+	for _, g := range groups {
+		var xs, ys []float64
+		for i := range g.X {
+			x := g.X[i]
+			if logX {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log10(x)
+			}
+			xs = append(xs, x)
+			ys = append(ys, g.Y[i])
+		}
+		pts = append(pts, Series{Name: g.Name, X: xs, Y: ys})
+	}
+	minX, maxX, minY, maxY := bounds(pts)
+	var b strings.Builder
+	openSVG(&b, title)
+	axes(&b, xlabel, ylabel, minX, maxX, minY, maxY, logX, false)
+	for i, g := range pts {
+		for j := range g.X {
+			px, py := project(g.X[j], g.Y[j], minX, maxX, minY, maxY)
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="1.6" fill="%s" fill-opacity="0.6"/>`+"\n",
+				px, py, color(i))
+		}
+		lx := float64(marginLeft + 8)
+		ly := float64(marginTop + 14 + i*16)
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="10" height="10" fill="%s"/>`+"\n", lx, ly-9, color(i))
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11">%s</text>`+"\n", lx+14, ly, escape(g.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// Heatmap renders a labelled square matrix with a blue intensity ramp
+// (Figure 10's country similarities). Values are expected in [0, 1].
+func Heatmap(title string, labels []string, m [][]float64) string {
+	n := len(labels)
+	cell := 12.0
+	left, top := 40.0, 48.0
+	width := int(left + cell*float64(n) + 20)
+	height := int(top + cell*float64(n) + 20)
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n",
+		width, height)
+	fmt.Fprintf(&b, `<text x="8" y="18" font-size="13" font-weight="bold">%s</text>`+"\n", escape(title))
+	// Normalise off-diagonal contrast.
+	lo, hi := 1.0, 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if m[i][j] < lo {
+				lo = m[i][j]
+			}
+			if m[i][j] > hi {
+				hi = m[i][j]
+			}
+		}
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="7">%s</text>`+"\n",
+			left+cell*float64(i), top-4, escape(labels[i]))
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="7">%s</text>`+"\n",
+			8.0, top+cell*float64(i)+9, escape(labels[i]))
+		for j := 0; j < n; j++ {
+			t := (m[i][j] - lo) / (hi - lo)
+			if i == j {
+				t = 1
+			}
+			if t < 0 {
+				t = 0
+			}
+			if t > 1 {
+				t = 1
+			}
+			shade := int(255 - t*180)
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="rgb(%d,%d,255)"/>`+"\n",
+				left+cell*float64(j), top+cell*float64(i), cell-1, cell-1, shade, shade)
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func openSVG(b *strings.Builder, title string) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n",
+		defaultWidth, defaultHeight)
+	fmt.Fprintf(b, `<text x="%d" y="18" font-size="13" font-weight="bold">%s</text>`+"\n",
+		marginLeft, escape(title))
+}
+
+// bounds computes data extents with a small pad.
+func bounds(series []Series) (minX, maxX, minY, maxY float64) {
+	minX, minY = math.Inf(1), math.Inf(1)
+	maxX, maxY = math.Inf(-1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return 0, 1, 0, 1
+	}
+	if minX == maxX {
+		maxX = minX + 1
+	}
+	if minY == maxY {
+		maxY = minY + 1
+	}
+	return minX, maxX, minY, maxY
+}
+
+// project maps a data point into pixel space.
+func project(x, y, minX, maxX, minY, maxY float64) (float64, float64) {
+	px := marginLeft + (x-minX)/(maxX-minX)*float64(defaultWidth-marginLeft-marginRight)
+	py := float64(defaultHeight-marginBottom) - (y-minY)/(maxY-minY)*float64(defaultHeight-marginTop-marginBottom)
+	return px, py
+}
+
+// axes draws the frame with min/max tick labels.
+func axes(b *strings.Builder, xlabel, ylabel string, minX, maxX, minY, maxY float64, logX, logY bool) {
+	fmt.Fprintf(b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#888"/>`+"\n",
+		marginLeft, marginTop, defaultWidth-marginLeft-marginRight, defaultHeight-marginTop-marginBottom)
+	fmtTick := func(v float64, log bool) string {
+		if log {
+			return fmt.Sprintf("%.3g", math.Pow(10, v))
+		}
+		return fmt.Sprintf("%.3g", v)
+	}
+	fmt.Fprintf(b, `<text x="%d" y="%d" font-size="10">%s</text>`+"\n",
+		marginLeft, defaultHeight-marginBottom+14, fmtTick(minX, logX))
+	fmt.Fprintf(b, `<text x="%d" y="%d" font-size="10" text-anchor="end">%s</text>`+"\n",
+		defaultWidth-marginRight, defaultHeight-marginBottom+14, fmtTick(maxX, logX))
+	fmt.Fprintf(b, `<text x="%d" y="%d" font-size="10" text-anchor="end">%s</text>`+"\n",
+		marginLeft-4, defaultHeight-marginBottom, fmtTick(minY, logY))
+	fmt.Fprintf(b, `<text x="%d" y="%d" font-size="10" text-anchor="end">%s</text>`+"\n",
+		marginLeft-4, marginTop+10, fmtTick(maxY, logY))
+	fmt.Fprintf(b, `<text x="%d" y="%d" font-size="11" text-anchor="middle">%s</text>`+"\n",
+		(marginLeft+defaultWidth-marginRight)/2, defaultHeight-8, escape(xlabel))
+	fmt.Fprintf(b, `<text x="14" y="%d" font-size="11" transform="rotate(-90 14 %d)" text-anchor="middle">%s</text>`+"\n",
+		(marginTop+defaultHeight-marginBottom)/2, (marginTop+defaultHeight-marginBottom)/2, escape(ylabel))
+}
+
+var palette = []string{"#2f7ed8", "#c0504d", "#4f9a4f", "#8064a2", "#e08214", "#17888f", "#999933", "#aa4499"}
+
+func color(i int) string { return palette[i%len(palette)] }
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// SortedKeys is a helper for deterministic map iteration in figure
+// builders.
+func SortedKeys[K ~string, V any](m map[K]V) []K {
+	out := make([]K, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

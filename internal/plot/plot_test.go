@@ -1,0 +1,105 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func wellFormed(t *testing.T, svg string) {
+	t.Helper()
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Fatalf("not a complete SVG:\n%.120s...", svg)
+	}
+	if strings.Count(svg, "<svg") != 1 {
+		t.Error("nested svg elements")
+	}
+}
+
+func TestLineBasics(t *testing.T) {
+	svg := Line("Figure X", "rank", "share", []Series{
+		{Name: "loads", X: []float64{1, 10, 100}, Y: []float64{0.2, 0.05, 0.01}},
+		{Name: "time", X: []float64{1, 10, 100}, Y: []float64{0.25, 0.04, 0.008}},
+	}, true, true)
+	wellFormed(t, svg)
+	if strings.Count(svg, "<polyline") != 2 {
+		t.Error("want two polylines")
+	}
+	for _, want := range []string{"Figure X", "rank", "share", "loads", "time"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestLineDropsNonPositiveOnLogAxes(t *testing.T) {
+	svg := Line("t", "x", "y", []Series{
+		{Name: "s", X: []float64{0, -1, 10}, Y: []float64{1, 1, 1}},
+	}, true, false)
+	wellFormed(t, svg)
+	// Only the single valid point survives; polyline still emitted.
+	if !strings.Contains(svg, "<polyline") {
+		t.Error("polyline missing")
+	}
+}
+
+func TestLineEmptySeries(t *testing.T) {
+	svg := Line("empty", "x", "y", nil, false, false)
+	wellFormed(t, svg)
+}
+
+func TestBar(t *testing.T) {
+	svg := Bar("scores", []string{"Pornography", "Webmail"}, []float64{0.57, -0.61})
+	wellFormed(t, svg)
+	// One positive (blue) and one negative (red) bar.
+	if !strings.Contains(svg, "#2f7ed8") || !strings.Contains(svg, "#c0504d") {
+		t.Error("bar colors missing")
+	}
+	if !strings.Contains(svg, "Pornography") || !strings.Contains(svg, "Webmail") {
+		t.Error("labels missing")
+	}
+}
+
+func TestScatter(t *testing.T) {
+	svg := Scatter("endemicity", "best rank", "score", []Series{
+		{Name: "national", X: []float64{1, 10, 100}, Y: []float64{150, 120, 90}},
+		{Name: "global", X: []float64{1, 2, 3}, Y: []float64{5, 9, 12}},
+	}, true)
+	wellFormed(t, svg)
+	if strings.Count(svg, "<circle") != 6 {
+		t.Errorf("want 6 points, got %d", strings.Count(svg, "<circle"))
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	svg := Heatmap("sim", []string{"US", "BR", "JP"}, [][]float64{
+		{1, 0.6, 0.4}, {0.6, 1, 0.45}, {0.4, 0.45, 1},
+	})
+	wellFormed(t, svg)
+	if strings.Count(svg, "<rect") != 9 {
+		t.Errorf("want 9 cells, got %d", strings.Count(svg, "<rect"))
+	}
+}
+
+func TestHeatmapUniformValues(t *testing.T) {
+	// Constant off-diagonal must not divide by zero.
+	svg := Heatmap("flat", []string{"A", "B"}, [][]float64{{1, 0.5}, {0.5, 1}})
+	wellFormed(t, svg)
+}
+
+func TestEscape(t *testing.T) {
+	svg := Bar("a<b>&\"c", []string{"x<y"}, []float64{1})
+	wellFormed(t, svg)
+	if strings.Contains(svg, "a<b>") {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(svg, "a&lt;b&gt;&amp;&quot;c") {
+		t.Error("escaped title missing")
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	got := SortedKeys(map[string]int{"b": 1, "a": 2, "c": 3})
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("SortedKeys = %v", got)
+	}
+}

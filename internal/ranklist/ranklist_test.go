@@ -1,0 +1,105 @@
+package ranklist
+
+import (
+	"math"
+	"testing"
+
+	"wwb/internal/chrome"
+	"wwb/internal/taxonomy"
+)
+
+func mk(domains ...string) chrome.RankList {
+	l := make(chrome.RankList, len(domains))
+	for i, d := range domains {
+		l[i] = chrome.Entry{Domain: d, Value: float64(len(domains) - i)}
+	}
+	return l
+}
+
+func TestCompareIdentical(t *testing.T) {
+	a := mk("a.com", "b.com", "c.com")
+	c := Compare(a, a)
+	if c.PercentIntersection != 1 || c.Spearman != 1 || c.Common != 3 {
+		t.Errorf("identical lists: %+v", c)
+	}
+}
+
+func TestCompareDisjoint(t *testing.T) {
+	c := Compare(mk("a.com", "b.com"), mk("x.com", "y.com"))
+	if c.PercentIntersection != 0 || c.Common != 0 {
+		t.Errorf("disjoint lists: %+v", c)
+	}
+	if !math.IsNaN(c.Spearman) {
+		t.Error("Spearman should be NaN with no common domains")
+	}
+}
+
+func TestCompareReversed(t *testing.T) {
+	a := mk("a.com", "b.com", "c.com", "d.com")
+	b := mk("d.com", "c.com", "b.com", "a.com")
+	c := Compare(a, b)
+	if c.PercentIntersection != 1 {
+		t.Errorf("intersection = %v, want 1", c.PercentIntersection)
+	}
+	if math.Abs(c.Spearman+1) > 1e-9 {
+		t.Errorf("Spearman = %v, want -1", c.Spearman)
+	}
+}
+
+func TestComparePartialOverlap(t *testing.T) {
+	a := mk("a.com", "b.com", "c.com", "d.com")
+	b := mk("b.com", "a.com", "x.com", "y.com")
+	c := Compare(a, b)
+	if c.Common != 2 {
+		t.Errorf("common = %d, want 2", c.Common)
+	}
+	if c.PercentIntersection != 0.5 {
+		t.Errorf("intersection = %v, want 0.5", c.PercentIntersection)
+	}
+}
+
+func TestCompareAsymmetricLengths(t *testing.T) {
+	a := mk("a.com", "b.com", "c.com", "d.com", "e.com", "f.com")
+	b := mk("a.com", "b.com")
+	c := Compare(a, b)
+	// |∩| / max(|A|, |B|) = 2/6.
+	if math.Abs(c.PercentIntersection-1.0/3.0) > 1e-12 {
+		t.Errorf("intersection = %v, want 1/3", c.PercentIntersection)
+	}
+}
+
+func TestFilterCategory(t *testing.T) {
+	cat := func(d string) taxonomy.Category {
+		if d == "news1.com" || d == "news2.com" {
+			return taxonomy.NewsMedia
+		}
+		return taxonomy.Technology
+	}
+	l := mk("tech.com", "news1.com", "other.com", "news2.com")
+	got := FilterCategory(l, cat, taxonomy.NewsMedia)
+	if len(got) != 2 || got[0].Domain != "news1.com" || got[1].Domain != "news2.com" {
+		t.Errorf("FilterCategory = %v", got)
+	}
+	if got := FilterCategory(l, cat, taxonomy.Gaming); len(got) != 0 {
+		t.Errorf("no gaming sites expected, got %v", got)
+	}
+}
+
+func TestMergedKeysDedupes(t *testing.T) {
+	l := mk("google.com", "google.co.uk", "amazon.com", "google.com.br")
+	keys := MergedKeys(l)
+	if len(keys) != 2 || keys[0] != "google" || keys[1] != "amazon" {
+		t.Errorf("MergedKeys = %v", keys)
+	}
+}
+
+func TestKeyRanksBestWins(t *testing.T) {
+	l := mk("amazon.de", "google.com", "amazon.com")
+	ranks := KeyRanks(l)
+	if ranks["amazon"] != 1 {
+		t.Errorf("amazon rank = %d, want 1 (best occurrence)", ranks["amazon"])
+	}
+	if ranks["google"] != 2 {
+		t.Errorf("google rank = %d, want 2", ranks["google"])
+	}
+}

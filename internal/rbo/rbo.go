@@ -1,0 +1,98 @@
+// Package rbo implements Rank-Biased Overlap (Webber, Moffat &
+// Zobel 2010) plus the paper's traffic-weighted variant (Section
+// 5.3.1): instead of RBO's geometric depth weights, the agreement at
+// each depth is weighted by the measured share of web traffic at that
+// rank, so similarity at the head of the web dominates exactly in
+// proportion to how much browsing happens there.
+package rbo
+
+// agreementAt computes A_d = |A_{1..d} ∩ B_{1..d}| / d incrementally.
+type agreement struct {
+	seenA, seenB map[string]struct{}
+	common       int
+}
+
+func newAgreement(capacity int) *agreement {
+	return &agreement{
+		seenA: make(map[string]struct{}, capacity),
+		seenB: make(map[string]struct{}, capacity),
+	}
+}
+
+// push adds depth-d elements (0-indexed d-1) and returns the running
+// common count.
+func (ag *agreement) push(a, b string) int {
+	if a == b {
+		ag.common++
+	} else {
+		if _, ok := ag.seenB[a]; ok {
+			ag.common++
+		}
+		if _, ok := ag.seenA[b]; ok {
+			ag.common++
+		}
+	}
+	ag.seenA[a] = struct{}{}
+	ag.seenB[b] = struct{}{}
+	return ag.common
+}
+
+// RBO computes rank-biased overlap with persistence parameter p in
+// (0, 1) over the first min(len(a), len(b)) depths, with the residual
+// weight assigned by extrapolating the final agreement (RBO_ext's
+// flavour of handling finite lists). Identical lists score 1; disjoint
+// lists score 0.
+func RBO(a, b []string, p float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if n == 0 {
+		return 0
+	}
+	ag := newAgreement(n)
+	sum := 0.0
+	weight := (1 - p) // weight of depth 1 before p^(d-1) factor
+	pw := 1.0
+	var lastA float64
+	for d := 1; d <= n; d++ {
+		common := ag.push(a[d-1], b[d-1])
+		lastA = float64(common) / float64(d)
+		sum += weight * pw * lastA
+		pw *= p
+	}
+	// Residual mass beyond the evaluated prefix extrapolates the final
+	// agreement.
+	residual := pw // Σ_{d>n} (1-p) p^{d-1} = p^n
+	return sum + residual*lastA
+}
+
+// Weighted computes the paper's traffic-weighted overlap. weightAt
+// returns the share of traffic at a 1-based rank (the distribution
+// curve from Section 4.1); depths beyond either list are ignored and
+// the weights over the evaluated depths are renormalised so identical
+// lists score exactly 1.
+func Weighted(a, b []string, weightAt func(rank int) float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if n == 0 {
+		return 0
+	}
+	ag := newAgreement(n)
+	var sum, wsum float64
+	for d := 1; d <= n; d++ {
+		common := ag.push(a[d-1], b[d-1])
+		w := weightAt(d)
+		if w < 0 {
+			w = 0
+		}
+		sum += w * float64(common) / float64(d)
+		wsum += w
+	}
+	if wsum == 0 {
+		return 0
+	}
+	return sum / wsum
+}

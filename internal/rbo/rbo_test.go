@@ -1,0 +1,171 @@
+package rbo
+
+import (
+	"math"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+func seq(n int, prefix string) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = prefix + strconv.Itoa(i)
+	}
+	return out
+}
+
+func TestRBOIdentical(t *testing.T) {
+	a := seq(50, "s")
+	if got := RBO(a, a, 0.9); math.Abs(got-1) > 1e-9 {
+		t.Errorf("identical RBO = %v, want 1", got)
+	}
+}
+
+func TestRBODisjoint(t *testing.T) {
+	if got := RBO(seq(50, "a"), seq(50, "b"), 0.9); got != 0 {
+		t.Errorf("disjoint RBO = %v, want 0", got)
+	}
+}
+
+func TestRBOEmpty(t *testing.T) {
+	if got := RBO(nil, seq(5, "a"), 0.9); got != 0 {
+		t.Errorf("empty RBO = %v, want 0", got)
+	}
+}
+
+func TestRBOKnownValue(t *testing.T) {
+	// a = [1,2,3], b = [1,3,2], p = 0.5.
+	// A_1 = 1, A_2 = 1/2, A_3 = 1.
+	// sum = 0.5(1) + 0.25(0.5) + 0.125(1) = 0.75; residual = 0.125·1.
+	a := []string{"1", "2", "3"}
+	b := []string{"1", "3", "2"}
+	got := RBO(a, b, 0.5)
+	want := 0.875
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("RBO = %v, want %v", got, want)
+	}
+}
+
+func TestRBOTopWeighted(t *testing.T) {
+	// Agreement at the head should matter more than at the tail.
+	base := seq(20, "x")
+	headSwap := append([]string{}, base...)
+	headSwap[0], headSwap[19] = headSwap[19], headSwap[0] // disturb head
+	tailSwap := append([]string{}, base...)
+	tailSwap[18], tailSwap[19] = tailSwap[19], tailSwap[18] // disturb tail
+	if RBO(base, headSwap, 0.9) >= RBO(base, tailSwap, 0.9) {
+		t.Error("head disturbance should cost more than tail disturbance")
+	}
+}
+
+func TestRBORangeProperty(t *testing.T) {
+	f := func(perm []byte, pRaw uint8) bool {
+		p := 0.05 + 0.9*float64(pRaw)/255
+		n := len(perm)
+		if n == 0 || n > 30 {
+			return true
+		}
+		a := seq(n, "e")
+		b := make([]string, n)
+		copy(b, a)
+		// Permute b deterministically from perm bytes.
+		for i := range b {
+			j := int(perm[i]) % (i + 1)
+			b[i], b[j] = b[j], b[i]
+		}
+		v := RBO(a, b, p)
+		return v >= -1e-9 && v <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRBOSymmetry(t *testing.T) {
+	a := []string{"q", "w", "e", "r", "t"}
+	b := []string{"w", "q", "z", "e", "y"}
+	if RBO(a, b, 0.8) != RBO(b, a, 0.8) {
+		t.Error("RBO must be symmetric")
+	}
+}
+
+func geomWeight(p float64) func(int) float64 {
+	return func(rank int) float64 {
+		return (1 - p) * math.Pow(p, float64(rank-1))
+	}
+}
+
+func TestWeightedIdentical(t *testing.T) {
+	a := seq(40, "s")
+	if got := Weighted(a, a, geomWeight(0.9)); math.Abs(got-1) > 1e-9 {
+		t.Errorf("identical weighted overlap = %v, want 1", got)
+	}
+}
+
+func TestWeightedDisjoint(t *testing.T) {
+	if got := Weighted(seq(10, "a"), seq(10, "b"), geomWeight(0.9)); got != 0 {
+		t.Errorf("disjoint = %v, want 0", got)
+	}
+}
+
+func TestWeightedHeadHeavyWeights(t *testing.T) {
+	// With all weight on rank 1, only the top elements matter.
+	w := func(rank int) float64 {
+		if rank == 1 {
+			return 1
+		}
+		return 0
+	}
+	sameTop := Weighted([]string{"a", "x", "y"}, []string{"a", "p", "q"}, w)
+	diffTop := Weighted([]string{"a", "x", "y"}, []string{"b", "p", "q"}, w)
+	if sameTop != 1 || diffTop != 0 {
+		t.Errorf("head-only weights: same=%v diff=%v", sameTop, diffTop)
+	}
+}
+
+func TestWeightedZeroWeights(t *testing.T) {
+	if got := Weighted(seq(5, "a"), seq(5, "a"), func(int) float64 { return 0 }); got != 0 {
+		t.Errorf("zero weights = %v, want 0", got)
+	}
+}
+
+func TestWeightedNegativeWeightsClamped(t *testing.T) {
+	w := func(rank int) float64 {
+		if rank == 1 {
+			return 1
+		}
+		return -5
+	}
+	got := Weighted([]string{"a", "b"}, []string{"a", "c"}, w)
+	if got != 1 {
+		t.Errorf("negative weights should be clamped to 0: got %v", got)
+	}
+}
+
+func TestWeightedSymmetryAndRange(t *testing.T) {
+	a := []string{"1", "2", "3", "4", "5", "6"}
+	b := []string{"2", "1", "7", "3", "8", "9"}
+	w := geomWeight(0.7)
+	x, y := Weighted(a, b, w), Weighted(b, a, w)
+	if x != y {
+		t.Error("weighted overlap must be symmetric")
+	}
+	if x < 0 || x > 1 {
+		t.Errorf("out of range: %v", x)
+	}
+}
+
+func TestWeightedMoreSimilarScoresHigher(t *testing.T) {
+	a := seq(20, "s")
+	slightlyOff := append([]string{}, a...)
+	slightlyOff[5], slightlyOff[6] = slightlyOff[6], slightlyOff[5]
+	veryOff := append([]string{}, a...)
+	for i := 0; i < 10; i++ {
+		veryOff[i] = "other" + strconv.Itoa(i)
+	}
+	w := geomWeight(0.9)
+	if Weighted(a, slightlyOff, w) <= Weighted(a, veryOff, w) {
+		t.Error("closer list should score higher")
+	}
+}

@@ -1,0 +1,143 @@
+// Package report renders analysis results as aligned text tables and
+// compact series — the harness's equivalent of the paper's tables and
+// figure data, printed row by row so runs can be diffed and compared
+// against EXPERIMENTS.md.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows and prints them with aligned columns.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with a title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// Len returns the number of data rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Fprint writes the table.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	printRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	printRow(sep)
+	for _, row := range t.rows {
+		printRow(row)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Fprint(&b)
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180 CSV (header row first, no title).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeCSVRow(&b, t.headers)
+	for _, row := range t.rows {
+		writeCSVRow(&b, row)
+	}
+	return b.String()
+}
+
+func writeCSVRow(b *strings.Builder, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if strings.ContainsAny(c, ",\"\n") {
+			b.WriteByte('"')
+			b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+			b.WriteByte('"')
+		} else {
+			b.WriteString(c)
+		}
+	}
+	b.WriteByte('\n')
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Pct formats a fraction as a percentage with one decimal.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// F2 and F3 format floats with fixed precision.
+func F2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// F3 formats with three decimals.
+func F3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// Itoa formats an int.
+func Itoa(v int) string { return fmt.Sprintf("%d", v) }
+
+// Heatmap prints a labelled square matrix compactly (values ×100,
+// two digits), the text form of the paper's Figure 10 heatmaps.
+func Heatmap(w io.Writer, title string, labels []string, m [][]float64) {
+	fmt.Fprintf(w, "== %s ==\n    ", title)
+	for _, l := range labels {
+		fmt.Fprintf(w, "%3s", l[:min(2, len(l))])
+	}
+	fmt.Fprintln(w)
+	for i, l := range labels {
+		fmt.Fprintf(w, "%-4s", l)
+		for j := range labels {
+			fmt.Fprintf(w, "%3.0f", 100*m[i][j])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

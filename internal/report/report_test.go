@@ -1,0 +1,77 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("a", "1")
+	tb.AddRow("longer-name", "22")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d, want 5 (title, header, sep, 2 rows)", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "== demo ==") {
+		t.Errorf("title line = %q", lines[0])
+	}
+	// Header and separator share the same column offsets.
+	if strings.Index(lines[1], "value") != strings.Index(lines[3], "1") {
+		t.Error("columns misaligned")
+	}
+	if tb.Len() != 2 {
+		t.Errorf("Len = %d", tb.Len())
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("x")
+	out := tb.String()
+	if strings.Contains(out, "== ") {
+		t.Error("empty title should not print a banner")
+	}
+	if !strings.Contains(out, "x") {
+		t.Error("row missing")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(0.25) != "25.0%" {
+		t.Errorf("Pct = %q", Pct(0.25))
+	}
+	if F2(1.239) != "1.24" || F3(1.2394) != "1.239" {
+		t.Error("float formatters wrong")
+	}
+	if Itoa(42) != "42" {
+		t.Error("Itoa wrong")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("ignored title", "name", "value")
+	tb.AddRow("plain", "1")
+	tb.AddRow(`needs "quoting", yes`, "2")
+	got := tb.CSV()
+	want := "name,value\nplain,1\n\"needs \"\"quoting\"\", yes\",2\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+	if strings.Contains(got, "ignored title") {
+		t.Error("CSV must not include the table title")
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	var b strings.Builder
+	Heatmap(&b, "sim", []string{"US", "BR"}, [][]float64{{1, 0.5}, {0.5, 1}})
+	out := b.String()
+	if !strings.Contains(out, "== sim ==") || !strings.Contains(out, "US") {
+		t.Errorf("heatmap output malformed:\n%s", out)
+	}
+	if !strings.Contains(out, "100") || !strings.Contains(out, " 50") {
+		t.Errorf("heatmap values missing:\n%s", out)
+	}
+}

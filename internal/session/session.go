@@ -1,0 +1,224 @@
+// Package session models the microstructure of browsing that the
+// aggregate telemetry summarises: sessions of consecutive page views
+// connected by navigations (direct entries, search referrals, social
+// referrals, link follows). The paper's lineage measured exactly this
+// — Kumar et al. and Tikhonov et al. studied page-to-page navigation
+// from toolbar logs (Section 2) — and Chrome's "page loads" metric
+// counts the leaves of this process.
+//
+// The session model draws sites from the same world weights as the
+// aggregate pipeline, so event-level simulations remain consistent
+// with the calibrated rank lists while adding navigation structure the
+// aggregates cannot express.
+package session
+
+import (
+	"sort"
+
+	"wwb/internal/taxonomy"
+	"wwb/internal/world"
+)
+
+// NavType classifies how a page view was reached.
+type NavType int
+
+// Navigation types.
+const (
+	// NavDirect is a typed URL, bookmark, or app launch.
+	NavDirect NavType = iota
+	// NavSearch is a click-through from a search results page.
+	NavSearch
+	// NavSocial is a click-through from a social feed.
+	NavSocial
+	// NavLink is an ordinary link follow within the session.
+	NavLink
+)
+
+// String implements fmt.Stringer.
+func (n NavType) String() string {
+	switch n {
+	case NavDirect:
+		return "direct"
+	case NavSearch:
+		return "search"
+	case NavSocial:
+		return "social"
+	case NavLink:
+		return "link"
+	default:
+		return "unknown"
+	}
+}
+
+// PageView is one page load within a session.
+type PageView struct {
+	Domain  string
+	Site    *world.Site
+	Nav     NavType
+	DwellMS int64
+}
+
+// Session is a consecutive browsing episode by one client.
+type Session struct {
+	Views []PageView
+}
+
+// Length returns the number of page views.
+func (s Session) Length() int { return len(s.Views) }
+
+// Config shapes the navigation process.
+type Config struct {
+	// PContinue is the probability a session continues after each
+	// view; mean session length is 1/(1-PContinue).
+	PContinue float64
+	// PSearchEntry, PSocialEntry split session entries: search
+	// referral, social referral, remainder direct.
+	PSearchEntry, PSocialEntry float64
+	// PSearchHop is the chance a continuing view goes back through a
+	// search engine rather than following a link.
+	PSearchHop float64
+	// DwellSigma is the per-view lognormal dwell noise.
+	DwellSigma float64
+}
+
+// DefaultConfig gives sessions a mean length of five views with
+// search-heavy entries, consistent with search engines capturing the
+// plurality of page loads (Section 4.2.2).
+func DefaultConfig() Config {
+	return Config{
+		PContinue:    0.8,
+		PSearchEntry: 0.45,
+		PSocialEntry: 0.12,
+		PSearchHop:   0.25,
+		DwellSigma:   0.45,
+	}
+}
+
+// Model samples sessions for one (country, platform, month) cell.
+type Model struct {
+	cfg     Config
+	rng     *world.RNG
+	country world.Country
+
+	sites   []world.SiteWeight
+	cum     []float64
+	total   float64
+	engines []world.SiteWeight // search engines for referral hops
+	socials []world.SiteWeight
+}
+
+// NewModel prepares a session sampler over the world's weights.
+func NewModel(rng *world.RNG, w *world.World, cfg Config, country world.Country, p world.Platform, month world.Month) *Model {
+	weights := w.Weights(country.Code, p, month)
+	sort.Slice(weights, func(i, j int) bool {
+		if weights[i].Loads != weights[j].Loads {
+			return weights[i].Loads > weights[j].Loads
+		}
+		return weights[i].Site.Key < weights[j].Site.Key
+	})
+	m := &Model{cfg: cfg, rng: rng, country: country, sites: weights}
+	m.cum = make([]float64, len(weights))
+	for i, sw := range weights {
+		m.total += sw.Loads
+		m.cum[i] = m.total
+		switch sw.Site.Category {
+		case taxonomy.SearchEngines:
+			m.engines = append(m.engines, sw)
+		case taxonomy.SocialNetworks:
+			m.socials = append(m.socials, sw)
+		}
+	}
+	return m
+}
+
+// pick draws a site proportional to load weight.
+func (m *Model) pick() world.SiteWeight {
+	x := m.rng.Float64() * m.total
+	lo, hi := 0, len(m.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if m.cum[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return m.sites[lo]
+}
+
+// pickFrom draws uniformly weighted by loads within a subset.
+func (m *Model) pickFrom(subset []world.SiteWeight) (world.SiteWeight, bool) {
+	if len(subset) == 0 {
+		return world.SiteWeight{}, false
+	}
+	var total float64
+	for _, sw := range subset {
+		total += sw.Loads
+	}
+	x := m.rng.Float64() * total
+	for _, sw := range subset {
+		x -= sw.Loads
+		if x <= 0 {
+			return sw, true
+		}
+	}
+	return subset[len(subset)-1], true
+}
+
+// view materialises a page view on a site.
+func (m *Model) view(sw world.SiteWeight, nav NavType) PageView {
+	dwell := sw.Site.DwellMean * m.rng.LogNormal(-m.cfg.DwellSigma*m.cfg.DwellSigma/2, m.cfg.DwellSigma)
+	return PageView{
+		Domain:  sw.Site.DomainIn(m.country),
+		Site:    sw.Site,
+		Nav:     nav,
+		DwellMS: int64(dwell * 1000),
+	}
+}
+
+// Sample draws one session.
+func (m *Model) Sample() Session {
+	if m.total == 0 {
+		return Session{}
+	}
+	var s Session
+
+	// Entry.
+	r := m.rng.Float64()
+	switch {
+	case r < m.cfg.PSearchEntry:
+		if engine, ok := m.pickFrom(m.engines); ok {
+			s.Views = append(s.Views, m.view(engine, NavDirect))
+		}
+		s.Views = append(s.Views, m.view(m.pick(), NavSearch))
+	case r < m.cfg.PSearchEntry+m.cfg.PSocialEntry:
+		if social, ok := m.pickFrom(m.socials); ok {
+			s.Views = append(s.Views, m.view(social, NavDirect))
+		}
+		s.Views = append(s.Views, m.view(m.pick(), NavSocial))
+	default:
+		s.Views = append(s.Views, m.view(m.pick(), NavDirect))
+	}
+
+	// Continuation.
+	for m.rng.Float64() < m.cfg.PContinue {
+		if m.rng.Float64() < m.cfg.PSearchHop {
+			if engine, ok := m.pickFrom(m.engines); ok {
+				s.Views = append(s.Views, m.view(engine, NavLink))
+			}
+			s.Views = append(s.Views, m.view(m.pick(), NavSearch))
+			continue
+		}
+		s.Views = append(s.Views, m.view(m.pick(), NavLink))
+	}
+	return s
+}
+
+// SampleN draws n sessions.
+func (m *Model) SampleN(n int) []Session {
+	out := make([]Session, n)
+	for i := range out {
+		out[i] = m.Sample()
+	}
+	return out
+}

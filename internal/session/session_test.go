@@ -1,0 +1,171 @@
+package session
+
+import (
+	"math"
+	"testing"
+
+	"wwb/internal/taxonomy"
+	"wwb/internal/telemetry"
+	"wwb/internal/world"
+)
+
+var testWorld = world.Generate(world.SmallConfig())
+
+func newTestModel(seed uint64) *Model {
+	us, _ := world.CountryByCode("US")
+	rng := world.NewRNG(seed).Fork("session-test")
+	return NewModel(rng, testWorld, DefaultConfig(), us, world.Windows, world.Feb2022)
+}
+
+func TestNavTypeStrings(t *testing.T) {
+	want := map[NavType]string{NavDirect: "direct", NavSearch: "search", NavSocial: "social", NavLink: "link"}
+	for n, s := range want {
+		if n.String() != s {
+			t.Errorf("%d = %q, want %q", n, n.String(), s)
+		}
+	}
+	if NavType(9).String() != "unknown" {
+		t.Error("out-of-range nav string")
+	}
+}
+
+func TestSampleSessionShape(t *testing.T) {
+	m := newTestModel(1)
+	for i := 0; i < 200; i++ {
+		s := m.Sample()
+		if s.Length() == 0 {
+			t.Fatal("empty session")
+		}
+		// First view is always a direct entry (possibly onto a search
+		// or social site before the referral hop).
+		if s.Views[0].Nav != NavDirect {
+			t.Fatalf("session starts with %v", s.Views[0].Nav)
+		}
+		for _, v := range s.Views {
+			if v.Domain == "" || v.Site == nil {
+				t.Fatal("view missing site")
+			}
+			if v.DwellMS <= 0 {
+				t.Fatal("non-positive dwell")
+			}
+		}
+	}
+}
+
+func TestMeanSessionLength(t *testing.T) {
+	m := newTestModel(2)
+	sessions := m.SampleN(5000)
+	st := Summarize(sessions)
+	// PContinue 0.8 gives a mean of ~5 continuation draws, plus the
+	// extra referral views on search/social entries and hops.
+	if st.MeanLength < 4 || st.MeanLength > 9 {
+		t.Errorf("mean session length = %v, want ≈5-7", st.MeanLength)
+	}
+	if st.Sessions != 5000 || st.PageViews < 20000 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestNavSharesSumToOne(t *testing.T) {
+	m := newTestModel(3)
+	st := Summarize(m.SampleN(2000))
+	var sum float64
+	for _, v := range st.NavShare {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("nav shares sum to %v", sum)
+	}
+	if st.NavShare[NavLink] <= 0 || st.NavShare[NavSearch] <= 0 {
+		t.Error("link and search navigations should both occur")
+	}
+}
+
+func TestSearchTouchedMajority(t *testing.T) {
+	// With search-heavy entries and hops, most sessions touch a search
+	// engine — consistent with search engines topping page loads in
+	// every country.
+	m := newTestModel(4)
+	st := Summarize(m.SampleN(3000))
+	if st.SearchTouched < 0.5 {
+		t.Errorf("search touched %v of sessions, want majority", st.SearchTouched)
+	}
+}
+
+func TestSessionDwellTracksCategory(t *testing.T) {
+	m := newTestModel(5)
+	sessions := m.SampleN(8000)
+	var videoSum, searchSum float64
+	var videoN, searchN int
+	for _, s := range sessions {
+		for _, v := range s.Views {
+			switch v.Site.Category {
+			case taxonomy.VideoStreaming:
+				videoSum += float64(v.DwellMS)
+				videoN++
+			case taxonomy.SearchEngines:
+				searchSum += float64(v.DwellMS)
+				searchN++
+			}
+		}
+	}
+	if videoN == 0 || searchN == 0 {
+		t.Fatalf("missing category views: video %d, search %d", videoN, searchN)
+	}
+	if videoSum/float64(videoN) <= 3*searchSum/float64(searchN) {
+		t.Error("video views should dwell far longer than search views")
+	}
+}
+
+func TestDeterministicSessions(t *testing.T) {
+	a := newTestModel(7).SampleN(50)
+	b := newTestModel(7).SampleN(50)
+	for i := range a {
+		if a[i].Length() != b[i].Length() {
+			t.Fatalf("session %d lengths differ", i)
+		}
+		for j := range a[i].Views {
+			if a[i].Views[j].Domain != b[i].Views[j].Domain {
+				t.Fatalf("session %d view %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestToTraceBridgesIntoCollector(t *testing.T) {
+	m := newTestModel(8)
+	rng := world.NewRNG(9).Fork("trace")
+	cfg := telemetry.DefaultConfig()
+	co := telemetry.NewCollector(cfg)
+	totalViews := 0
+	for c := uint64(0); c < 30; c++ {
+		sessions := m.SampleN(60)
+		for _, s := range sessions {
+			totalViews += s.Length()
+		}
+		co.Add(ToTrace(rng, c, sessions, cfg.DownsampleRate))
+	}
+	stats := co.Stats()
+	if len(stats) == 0 {
+		t.Fatal("collector empty")
+	}
+	var loads int64
+	for _, s := range stats {
+		loads += s.Loads
+	}
+	if int(loads) != totalViews {
+		t.Errorf("collected loads %d != views %d", loads, totalViews)
+	}
+	// The session process and the aggregate path agree on the head:
+	// google dominates.
+	if stats[0].Domain != "google.us" {
+		t.Errorf("top collected domain = %s, want google.us", stats[0].Domain)
+	}
+}
+
+func TestEmptySessionsSummarize(t *testing.T) {
+	st := Summarize(nil)
+	if st.Sessions != 0 || st.MeanLength != 0 || st.SearchTouched != 0 {
+		t.Errorf("empty summary: %+v", st)
+	}
+}

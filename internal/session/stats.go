@@ -1,0 +1,69 @@
+package session
+
+import (
+	"wwb/internal/telemetry"
+	"wwb/internal/world"
+)
+
+// Stats summarises a batch of sessions.
+type Stats struct {
+	Sessions   int
+	PageViews  int
+	MeanLength float64
+	// NavShare is the fraction of page views reached by each
+	// navigation type.
+	NavShare map[NavType]float64
+	// SearchTouched is the fraction of sessions that hit a search
+	// engine at least once.
+	SearchTouched float64
+}
+
+// Summarize computes batch statistics.
+func Summarize(sessions []Session) Stats {
+	st := Stats{NavShare: map[NavType]float64{}}
+	st.Sessions = len(sessions)
+	touched := 0
+	for _, s := range sessions {
+		st.PageViews += s.Length()
+		hitSearch := false
+		for _, v := range s.Views {
+			st.NavShare[v.Nav]++
+			if v.Site != nil && v.Site.Category == "Search Engines" {
+				hitSearch = true
+			}
+		}
+		if hitSearch {
+			touched++
+		}
+	}
+	if st.PageViews > 0 {
+		for k := range st.NavShare {
+			st.NavShare[k] /= float64(st.PageViews)
+		}
+	}
+	if st.Sessions > 0 {
+		st.MeanLength = float64(st.PageViews) / float64(st.Sessions)
+		st.SearchTouched = float64(touched) / float64(st.Sessions)
+	}
+	return st
+}
+
+// ToTrace converts sessions into a telemetry client trace: every view
+// is a page load, and each view's foreground time is uploaded with the
+// telemetry down-sampling probability — the bridge from the navigation
+// microstructure into the aggregate pipeline.
+func ToTrace(rng *world.RNG, clientID uint64, sessions []Session, downsampleRate float64) telemetry.ClientTrace {
+	trace := telemetry.ClientTrace{ClientID: clientID}
+	for _, s := range sessions {
+		for _, v := range s.Views {
+			trace.Loads = append(trace.Loads, telemetry.PageLoadEvent{Domain: v.Domain})
+			if rng.Float64() < downsampleRate {
+				trace.Foreground = append(trace.Foreground, telemetry.ForegroundEvent{
+					Domain:     v.Domain,
+					DurationMS: v.DwellMS,
+				})
+			}
+		}
+	}
+	return trace
+}

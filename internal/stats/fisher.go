@@ -1,0 +1,138 @@
+package stats
+
+import "math"
+
+// FisherExact computes the two-sided p-value of Fisher's exact test on
+// the 2x2 contingency table
+//
+//	        group1  group2
+//	hit       a       b
+//	miss      c       d
+//
+// using the hypergeometric distribution evaluated in log space so very
+// large counts (weighted traffic volumes rounded to integers) remain
+// numerically stable. The two-sided p-value sums the probabilities of
+// all tables, with the same margins, that are no more probable than the
+// observed table (the standard "sum of small p" definition).
+func FisherExact(a, b, c, d int) float64 {
+	if a < 0 || b < 0 || c < 0 || d < 0 {
+		return math.NaN()
+	}
+	r1 := a + b // margin: hits
+	r2 := c + d // margin: misses
+	c1 := a + c // margin: group1
+	n := r1 + r2
+	if n == 0 {
+		return 1
+	}
+
+	// Support of a given the margins.
+	lo := 0
+	if c1-r2 > 0 {
+		lo = c1 - r2
+	}
+	hi := c1
+	if r1 < hi {
+		hi = r1
+	}
+
+	logpObs := logHypergeomPMF(a, r1, r2, c1)
+	// Tolerance absorbs floating-point noise when comparing tail
+	// probabilities against the observed one.
+	const eps = 1e-7
+
+	// Restrict the scan to the window where the PMF is numerically
+	// non-zero: the hypergeometric concentrates within a few dozen
+	// standard deviations of its mean, and terms beyond ~60 sd are
+	// below 1e-300. This turns huge-count tables (weighted traffic
+	// volumes) from O(support) into O(sd).
+	mean := float64(c1) * float64(r1) / float64(n)
+	sd := math.Sqrt(mean * float64(r2) / float64(n) * float64(n-c1) / float64(maxInt(n-1, 1)))
+	winLo, winHi := lo, hi
+	if sd > 0 {
+		if v := int(mean - 60*sd); v > winLo {
+			winLo = v
+		}
+		if v := int(mean + 60*sd + 1); v < winHi {
+			winHi = v
+		}
+	}
+	// The observed cell always participates.
+	if a < winLo {
+		winLo = a
+	}
+	if a > winHi {
+		winHi = a
+	}
+
+	var p float64
+	for x := winLo; x <= winHi; x++ {
+		lp := logHypergeomPMF(x, r1, r2, c1)
+		if lp <= logpObs+eps {
+			p += math.Exp(lp)
+		}
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// logHypergeomPMF returns log P[X = x] where X is hypergeometric with
+// r1 "successes", r2 "failures" and c1 draws:
+//
+//	P[X=x] = C(r1, x) * C(r2, c1-x) / C(r1+r2, c1)
+func logHypergeomPMF(x, r1, r2, c1 int) float64 {
+	if x < 0 || x > r1 || c1-x < 0 || c1-x > r2 {
+		return math.Inf(-1)
+	}
+	return logChoose(r1, x) + logChoose(r2, c1-x) - logChoose(r1+r2, c1)
+}
+
+// logChoose returns log C(n, k) via log-gamma.
+func logChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	lg := func(v int) float64 {
+		r, _ := math.Lgamma(float64(v + 1))
+		return r
+	}
+	return lg(n) - lg(k) - lg(n-k)
+}
+
+// BonferroniAlpha returns the per-test significance threshold for a
+// family-wise error rate alpha over m comparisons. m <= 0 yields alpha
+// unchanged.
+func BonferroniAlpha(alpha float64, m int) float64 {
+	if m <= 0 {
+		return alpha
+	}
+	return alpha / float64(m)
+}
+
+// ProportionDiffScore returns the paper's normalized platform-difference
+// metric (Section 4.3):
+//
+//	(A - W) / max(A, W)
+//
+// where A and W are weighted traffic volumes for Android and Windows.
+// The result lies in [-1, 1]: positive means mobile-leaning, negative
+// desktop-leaning. If both are zero the score is 0.
+func ProportionDiffScore(android, windows float64) float64 {
+	max := android
+	if windows > max {
+		max = windows
+	}
+	if max == 0 {
+		return 0
+	}
+	return (android - windows) / max
+}

@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// IQRFences returns the Tukey outlier fences for xs: values below
+// q1 - k*IQR or above q3 + k*IQR are outliers. The customary k is 1.5.
+func IQRFences(xs []float64, k float64) (lower, upper float64) {
+	q1, _, q3 := Quartiles(xs)
+	iqr := q3 - q1
+	return q1 - k*iqr, q3 + k*iqr
+}
+
+// IQROutliers reports, for each element of xs, whether it falls outside
+// the Tukey fences with multiplier k.
+func IQROutliers(xs []float64, k float64) []bool {
+	lower, upper := IQRFences(xs, k)
+	out := make([]bool, len(xs))
+	for i, x := range xs {
+		out[i] = x < lower || x > upper
+	}
+	return out
+}
+
+// MAD returns the median absolute deviation of xs (unscaled).
+func MAD(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Median(xs)
+	dev := make([]float64, len(xs))
+	for i, x := range xs {
+		dev[i] = math.Abs(x - m)
+	}
+	return Median(dev)
+}
+
+// MADOutliers flags elements whose modified z-score exceeds threshold.
+// The modified z-score uses the consistency constant 0.6745 so that the
+// threshold is comparable to standard-normal z-scores; the customary
+// threshold is 3.5. When the MAD is zero every non-median element is
+// flagged conservatively only if it differs from the median.
+func MADOutliers(xs []float64, threshold float64) []bool {
+	out := make([]bool, len(xs))
+	if len(xs) == 0 {
+		return out
+	}
+	m := Median(xs)
+	mad := MAD(xs)
+	for i, x := range xs {
+		if mad == 0 {
+			out[i] = x != m
+			continue
+		}
+		z := 0.6745 * math.Abs(x-m) / mad
+		out[i] = z > threshold
+	}
+	return out
+}
+
+// PercentIntersection returns |A ∩ B| / max(|A|, |B|) for two string
+// sets given as slices (duplicates are collapsed). An empty pair yields
+// 1 (identical), a single empty side yields 0.
+func PercentIntersection(a, b []string) float64 {
+	setA := make(map[string]struct{}, len(a))
+	for _, s := range a {
+		setA[s] = struct{}{}
+	}
+	setB := make(map[string]struct{}, len(b))
+	for _, s := range b {
+		setB[s] = struct{}{}
+	}
+	if len(setA) == 0 && len(setB) == 0 {
+		return 1
+	}
+	max := len(setA)
+	if len(setB) > max {
+		max = len(setB)
+	}
+	if max == 0 {
+		return 0
+	}
+	inter := 0
+	for s := range setA {
+		if _, ok := setB[s]; ok {
+			inter++
+		}
+	}
+	return float64(inter) / float64(max)
+}
+
+// CumulativeSortedDesc sorts xs in descending order and returns the
+// running cumulative sums — the succinct plot style used by the paper's
+// Figure 12 for pairwise country intersections.
+func CumulativeSortedDesc(xs []float64) []float64 {
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	var run float64
+	for i, v := range sorted {
+		run += v
+		sorted[i] = run
+	}
+	return sorted
+}

@@ -1,0 +1,432 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{[]float64{1, 2, 3}, 2},
+		{[]float64{5}, 5},
+		{[]float64{-1, 1}, 0},
+		{nil, math.NaN()},
+	}
+	for _, c := range cases {
+		if got := Mean(c.xs); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Mean(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestSum(t *testing.T) {
+	if got := Sum([]float64{1.5, 2.5, -1}); got != 3 {
+		t.Errorf("Sum = %v, want 3", got)
+	}
+	if got := Sum(nil); got != 0 {
+		t.Errorf("Sum(nil) = %v, want 0", got)
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if !math.IsNaN(Variance(nil)) {
+		t.Error("Variance(nil) should be NaN")
+	}
+}
+
+func TestMedianOddEven(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("Median odd = %v, want 2", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("Median even = %v, want 2.5", got)
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Errorf("Q0 = %v, want 1", got)
+	}
+	if got := Quantile(xs, 1); got != 5 {
+		t.Errorf("Q1 = %v, want 5", got)
+	}
+	if got := Quantile(xs, 0.25); got != 2 {
+		t.Errorf("Q.25 = %v, want 2", got)
+	}
+	if !math.IsNaN(Quantile(xs, -0.1)) || !math.IsNaN(Quantile(xs, 1.1)) {
+		t.Error("out-of-range q should yield NaN")
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty slice should yield NaN")
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	xs := []float64{10, 20}
+	if got := Quantile(xs, 0.5); got != 15 {
+		t.Errorf("interpolated median = %v, want 15", got)
+	}
+	if got := Quantile(xs, 0.75); got != 17.5 {
+		t.Errorf("Q.75 = %v, want 17.5", got)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Quantile mutated input: %v", xs)
+	}
+}
+
+func TestQuartiles(t *testing.T) {
+	q1, q2, q3 := Quartiles([]float64{1, 2, 3, 4, 5})
+	if q1 != 2 || q2 != 3 || q3 != 4 {
+		t.Errorf("Quartiles = %v,%v,%v want 2,3,4", q1, q2, q3)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 2})
+	if min != -1 || max != 7 {
+		t.Errorf("MinMax = %v,%v want -1,7", min, max)
+	}
+	min, max = MinMax(nil)
+	if !math.IsNaN(min) || !math.IsNaN(max) {
+		t.Error("MinMax(nil) should be NaN,NaN")
+	}
+}
+
+func TestRanksNoTies(t *testing.T) {
+	ranks := Ranks([]float64{30, 10, 20})
+	want := []float64{3, 1, 2}
+	for i := range want {
+		if ranks[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", ranks, want)
+		}
+	}
+}
+
+func TestRanksWithTies(t *testing.T) {
+	// 10,10 tie for ranks 1,2 -> both 1.5; 20 -> 3; 30,30 tie for 4,5 -> 4.5.
+	ranks := Ranks([]float64{10, 30, 20, 10, 30})
+	want := []float64{1.5, 4.5, 3, 1.5, 4.5}
+	for i := range want {
+		if ranks[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", ranks, want)
+		}
+	}
+}
+
+func TestPearsonPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	if got := Pearson(xs, ys); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("Pearson = %v, want 1", got)
+	}
+	neg := []float64{8, 6, 4, 2}
+	if got := Pearson(xs, neg); !almostEqual(got, -1, 1e-12) {
+		t.Errorf("Pearson = %v, want -1", got)
+	}
+}
+
+func TestPearsonDegenerate(t *testing.T) {
+	if !math.IsNaN(Pearson([]float64{1, 1}, []float64{1, 2})) {
+		t.Error("constant series should yield NaN")
+	}
+	if !math.IsNaN(Pearson([]float64{1}, []float64{1})) {
+		t.Error("single pair should yield NaN")
+	}
+	if !math.IsNaN(Pearson([]float64{1, 2}, []float64{1})) {
+		t.Error("length mismatch should yield NaN")
+	}
+}
+
+func TestSpearmanMonotonic(t *testing.T) {
+	// Any monotone transform should give rho = 1.
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 8, 27, 64, 125}
+	if got := Spearman(xs, ys); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("Spearman = %v, want 1", got)
+	}
+}
+
+func TestSpearmanReversed(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{5, 4, 3, 2, 1}
+	if got := Spearman(xs, ys); !almostEqual(got, -1, 1e-12) {
+		t.Errorf("Spearman = %v, want -1", got)
+	}
+}
+
+func TestSpearmanKnownValue(t *testing.T) {
+	// Classic textbook example.
+	xs := []float64{106, 86, 100, 101, 99, 103, 97, 113, 112, 110}
+	ys := []float64{7, 0, 27, 50, 28, 29, 20, 12, 6, 17}
+	got := Spearman(xs, ys)
+	if !almostEqual(got, -0.17575757575, 1e-9) {
+		t.Errorf("Spearman = %v, want -0.1757...", got)
+	}
+}
+
+func TestSpearmanRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(40)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = math.Floor(rng.Float64() * 10) // induce ties
+			ys[i] = math.Floor(rng.Float64() * 10)
+		}
+		rho := Spearman(xs, ys)
+		return math.IsNaN(rho) || (rho >= -1-1e-9 && rho <= 1+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFisherExactKnown(t *testing.T) {
+	// Tea-tasting: (3,1;1,3) two-sided p ≈ 0.4857.
+	p := FisherExact(3, 1, 1, 3)
+	if !almostEqual(p, 0.4857142857, 1e-9) {
+		t.Errorf("FisherExact(3,1,1,3) = %v, want 0.48571...", p)
+	}
+	// Strong association: (10,0;0,10) two-sided p = 2/C(20,10).
+	p = FisherExact(10, 0, 0, 10)
+	want := 2.0 / 184756.0
+	if !almostEqual(p, want, 1e-12) {
+		t.Errorf("FisherExact(10,0,0,10) = %v, want %v", p, want)
+	}
+}
+
+func TestFisherExactSymmetry(t *testing.T) {
+	// Transposing the table must not change the p-value.
+	p1 := FisherExact(12, 5, 7, 9)
+	p2 := FisherExact(12, 7, 5, 9)
+	if !almostEqual(p1, p2, 1e-9) {
+		t.Errorf("transpose symmetry broken: %v vs %v", p1, p2)
+	}
+}
+
+func TestFisherExactNoAssociation(t *testing.T) {
+	// Perfectly proportional table: p should be 1 (observed is modal).
+	p := FisherExact(10, 10, 10, 10)
+	if p < 0.99 || p > 1 {
+		t.Errorf("FisherExact balanced = %v, want ~1", p)
+	}
+}
+
+func TestFisherExactEdges(t *testing.T) {
+	if p := FisherExact(0, 0, 0, 0); p != 1 {
+		t.Errorf("empty table p = %v, want 1", p)
+	}
+	if !math.IsNaN(FisherExact(-1, 0, 0, 0)) {
+		t.Error("negative count should yield NaN")
+	}
+}
+
+func TestFisherExactLargeCounts(t *testing.T) {
+	// Large weighted volumes must stay finite and sane.
+	p := FisherExact(50000, 48000, 52000, 51000)
+	if math.IsNaN(p) || math.IsInf(p, 0) || p < 0 || p > 1 {
+		t.Errorf("large-count p out of range: %v", p)
+	}
+	// A clearly significant large table.
+	p = FisherExact(60000, 40000, 40000, 60000)
+	if p > 1e-10 {
+		t.Errorf("expected tiny p for strong association, got %v", p)
+	}
+}
+
+func TestFisherExactPValueRangeProperty(t *testing.T) {
+	f := func(a, b, c, d uint8) bool {
+		p := FisherExact(int(a), int(b), int(c), int(d))
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBonferroniAlpha(t *testing.T) {
+	if got := BonferroniAlpha(0.05, 10); got != 0.005 {
+		t.Errorf("Bonferroni = %v, want 0.005", got)
+	}
+	if got := BonferroniAlpha(0.05, 0); got != 0.05 {
+		t.Errorf("Bonferroni m=0 = %v, want 0.05", got)
+	}
+}
+
+func TestProportionDiffScore(t *testing.T) {
+	cases := []struct {
+		a, w, want float64
+	}{
+		{100, 50, 0.5},
+		{50, 100, -0.5},
+		{10, 10, 0},
+		{0, 0, 0},
+		{10, 0, 1},
+		{0, 10, -1},
+	}
+	for _, c := range cases {
+		if got := ProportionDiffScore(c.a, c.w); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("ProportionDiffScore(%v,%v) = %v, want %v", c.a, c.w, got, c.want)
+		}
+	}
+}
+
+func TestProportionDiffScoreBounds(t *testing.T) {
+	f := func(a, w uint16) bool {
+		s := ProportionDiffScore(float64(a), float64(w))
+		return s >= -1 && s <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIQRFencesAndOutliers(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 100}
+	flags := IQROutliers(xs, 1.5)
+	if !flags[5] {
+		t.Error("100 should be an outlier")
+	}
+	for i := 0; i < 5; i++ {
+		if flags[i] {
+			t.Errorf("xs[%d] should not be an outlier", i)
+		}
+	}
+}
+
+func TestMAD(t *testing.T) {
+	xs := []float64{1, 1, 2, 2, 4, 6, 9}
+	if got := MAD(xs); got != 1 {
+		t.Errorf("MAD = %v, want 1", got)
+	}
+	if !math.IsNaN(MAD(nil)) {
+		t.Error("MAD(nil) should be NaN")
+	}
+}
+
+func TestMADOutliers(t *testing.T) {
+	xs := []float64{1, 2, 3, 2, 1, 2, 3, 2, 1000}
+	flags := MADOutliers(xs, 3.5)
+	if !flags[8] {
+		t.Error("1000 should be flagged")
+	}
+	for i := 0; i < 8; i++ {
+		if flags[i] {
+			t.Errorf("xs[%d] wrongly flagged", i)
+		}
+	}
+}
+
+func TestMADOutliersZeroMAD(t *testing.T) {
+	xs := []float64{5, 5, 5, 5, 7}
+	flags := MADOutliers(xs, 3.5)
+	if !flags[4] {
+		t.Error("value differing from constant bulk should be flagged")
+	}
+	if flags[0] {
+		t.Error("median value should not be flagged")
+	}
+}
+
+func TestPercentIntersection(t *testing.T) {
+	a := []string{"x", "y", "z"}
+	b := []string{"y", "z", "w"}
+	if got := PercentIntersection(a, b); !almostEqual(got, 2.0/3.0, 1e-12) {
+		t.Errorf("PercentIntersection = %v, want 2/3", got)
+	}
+	if got := PercentIntersection(nil, nil); got != 1 {
+		t.Errorf("empty-empty = %v, want 1", got)
+	}
+	if got := PercentIntersection(a, nil); got != 0 {
+		t.Errorf("empty-one-side = %v, want 0", got)
+	}
+	// Duplicates collapse.
+	if got := PercentIntersection([]string{"x", "x"}, []string{"x"}); got != 1 {
+		t.Errorf("dup collapse = %v, want 1", got)
+	}
+}
+
+func TestPercentIntersectionSymmetric(t *testing.T) {
+	f := func(seedA, seedB uint8) bool {
+		mk := func(seed uint8) []string {
+			rng := rand.New(rand.NewSource(int64(seed)))
+			n := rng.Intn(10)
+			out := make([]string, n)
+			for i := range out {
+				out[i] = string(rune('a' + rng.Intn(6)))
+			}
+			return out
+		}
+		a, b := mk(seedA), mk(seedB)
+		return PercentIntersection(a, b) == PercentIntersection(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCumulativeSortedDesc(t *testing.T) {
+	got := CumulativeSortedDesc([]float64{1, 3, 2})
+	want := []float64{3, 5, 6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CumulativeSortedDesc = %v, want %v", got, want)
+		}
+	}
+	// Result must be non-decreasing for non-negative inputs.
+	if !sort.Float64sAreSorted(got) {
+		t.Error("cumulative sum of non-negative values should be sorted")
+	}
+}
+
+func TestRanksPermutationProperty(t *testing.T) {
+	// Ranks of distinct values are a permutation of 1..n.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		xs := rng.Perm(n)
+		fs := make([]float64, n)
+		for i, v := range xs {
+			fs[i] = float64(v)
+		}
+		ranks := Ranks(fs)
+		seen := make(map[float64]bool)
+		for _, r := range ranks {
+			if r < 1 || r > float64(n) || seen[r] {
+				return false
+			}
+			seen[r] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,264 @@
+// Package taxonomy encodes the website category taxonomy the paper
+// arrives at in Section 3.2 / Appendix B: 22 super-categories and 61
+// categories (Table 3), plus the two categories the authors verify
+// manually because the categorisation API was unreliable for them
+// (Search Engines and Social Networks).
+//
+// The package also carries per-category behavioural traits (dwell
+// time, platform lean, locality, head-of-web concentration) that the
+// synthetic world model uses for generation. The analyses never read
+// the traits — they must *recover* these tendencies from the generated
+// data, which is what makes the reproduction meaningful.
+package taxonomy
+
+import "sort"
+
+// Category is one of the study's website categories.
+type Category string
+
+// Categories from Table 3, grouped by super-category, plus the two
+// manually verified categories.
+const (
+	// Adult Themes.
+	Pornography Category = "Pornography"
+	AdultThemes Category = "Adult Themes"
+	// Business & Economy.
+	Business       Category = "Business"
+	EconomyFinance Category = "Economy & Finance"
+	// Education.
+	EducationalInstitutions Category = "Educational Institutions"
+	Education               Category = "Education"
+	Science                 Category = "Science"
+	// Entertainment.
+	NewsMedia       Category = "News & Media"
+	AudioStreaming  Category = "Audio Streaming"
+	Music           Category = "Music"
+	Magazines       Category = "Magazines"
+	CartoonsAnime   Category = "Cartoons & Anime"
+	MoviesHomeVideo Category = "Movies & Home Video"
+	Arts            Category = "Arts"
+	Entertainment   Category = "Entertainment"
+	Gaming          Category = "Gaming"
+	VideoStreaming  Category = "Video Streaming"
+	Television      Category = "Television"
+	ComicBooks      Category = "Comic Books"
+	Paranormal      Category = "Paranormal"
+	// Gambling.
+	Gambling Category = "Gambling"
+	// Government & Politics.
+	GovernmentPolitics Category = "Government & Politics"
+	PoliticsAdvocacy   Category = "Politics, Advocacy, and Government-Related"
+	// Health.
+	HealthFitness Category = "Health & Fitness"
+	SexEducation  Category = "Sex Education"
+	// Internet Communication.
+	Forums        Category = "Forums"
+	Webmail       Category = "Webmail"
+	ChatMessaging Category = "Chat & Messaging"
+	// Job Search & Careers.
+	JobSearch Category = "Job Search & Careers"
+	// Miscellaneous.
+	Redirect Category = "Redirect"
+	// Questionable Content.
+	Drugs               Category = "Drugs"
+	QuestionableContent Category = "Questionable Content"
+	Hacking             Category = "Hacking"
+	// Real Estate.
+	RealEstate Category = "Real Estate"
+	// Religion.
+	Religion Category = "Religion"
+	// Shopping & Auctions.
+	Ecommerce           Category = "Ecommerce"
+	AuctionsMarketplace Category = "Auctions & Marketplaces"
+	Coupons             Category = "Coupons"
+	// Society & Lifestyle.
+	Lifestyle           Category = "Lifestyle"
+	ClothingFashion     Category = "Clothing and Fashion"
+	FoodDrink           Category = "Food & Drink"
+	HobbiesInterests    Category = "Hobbies & Interests"
+	HomeGarden          Category = "Home & Garden"
+	Pets                Category = "Pets"
+	Parenting           Category = "Parenting"
+	Photography         Category = "Photography"
+	Astrology           Category = "Astrology"
+	DatingRelationships Category = "Dating & Relationships"
+	ArtsCrafts          Category = "Arts & Crafts"
+	Sexuality           Category = "Sexuality"
+	Tobacco             Category = "Tobacco"
+	BodyArt             Category = "Body Art"
+	DigitalPostcards    Category = "Digital Postcards"
+	// Sports.
+	Sports Category = "Sports"
+	// Technology.
+	Technology Category = "Technology"
+	// Travel.
+	Travel Category = "Travel"
+	// Vehicles.
+	Vehicles Category = "Vehicles"
+	// Violence.
+	Weapons  Category = "Weapons"
+	Violence Category = "Violence"
+	// Weather.
+	Weather Category = "Weather"
+	// Unknown.
+	Unknown Category = "Unknown"
+
+	// Manually verified categories (Section 3.2): the Cloudflare API's
+	// labels for these were below the 80% accuracy bar, so the authors
+	// use hand-verified site sets instead. They are not part of
+	// Table 3 but appear throughout the analyses.
+	SearchEngines  Category = "Search Engines"
+	SocialNetworks Category = "Social Networks"
+)
+
+// SuperCategory is one of the study's 22 super-categories (plus the
+// two manually verified groups).
+type SuperCategory string
+
+// Super-categories from Table 3.
+const (
+	SuperAdultThemes        SuperCategory = "Adult Themes"
+	SuperBusinessEconomy    SuperCategory = "Business & Economy"
+	SuperEducation          SuperCategory = "Education"
+	SuperEntertainment      SuperCategory = "Entertainment"
+	SuperGambling           SuperCategory = "Gambling"
+	SuperGovernmentPolitics SuperCategory = "Government & Politics"
+	SuperHealth             SuperCategory = "Health"
+	SuperInternetComm       SuperCategory = "Internet Communication"
+	SuperJobSearch          SuperCategory = "Job Search & Careers"
+	SuperMiscellaneous      SuperCategory = "Miscellaneous"
+	SuperQuestionable       SuperCategory = "Questionable Content"
+	SuperRealEstate         SuperCategory = "Real Estate"
+	SuperReligion           SuperCategory = "Religion"
+	SuperShopping           SuperCategory = "Shopping & Auctions"
+	SuperSocietyLifestyle   SuperCategory = "Society & Lifestyle"
+	SuperSports             SuperCategory = "Sports"
+	SuperTechnology         SuperCategory = "Technology"
+	SuperTravel             SuperCategory = "Travel"
+	SuperVehicles           SuperCategory = "Vehicles"
+	SuperViolence           SuperCategory = "Violence"
+	SuperWeather            SuperCategory = "Weather"
+	SuperUnknown            SuperCategory = "Unknown"
+
+	// Manually verified groups.
+	SuperSearchEngines  SuperCategory = "Search Engines"
+	SuperSocialNetworks SuperCategory = "Social Networks"
+)
+
+// table3 maps each Table 3 category to its super-category.
+var table3 = map[Category]SuperCategory{
+	Pornography: SuperAdultThemes, AdultThemes: SuperAdultThemes,
+	Business: SuperBusinessEconomy, EconomyFinance: SuperBusinessEconomy,
+	EducationalInstitutions: SuperEducation, Education: SuperEducation, Science: SuperEducation,
+	NewsMedia: SuperEntertainment, AudioStreaming: SuperEntertainment, Music: SuperEntertainment,
+	Magazines: SuperEntertainment, CartoonsAnime: SuperEntertainment, MoviesHomeVideo: SuperEntertainment,
+	Arts: SuperEntertainment, Entertainment: SuperEntertainment, Gaming: SuperEntertainment,
+	VideoStreaming: SuperEntertainment, Television: SuperEntertainment, ComicBooks: SuperEntertainment,
+	Paranormal:         SuperEntertainment,
+	Gambling:           SuperGambling,
+	GovernmentPolitics: SuperGovernmentPolitics, PoliticsAdvocacy: SuperGovernmentPolitics,
+	HealthFitness: SuperHealth, SexEducation: SuperHealth,
+	Forums: SuperInternetComm, Webmail: SuperInternetComm, ChatMessaging: SuperInternetComm,
+	JobSearch: SuperJobSearch,
+	Redirect:  SuperMiscellaneous,
+	Drugs:     SuperQuestionable, QuestionableContent: SuperQuestionable, Hacking: SuperQuestionable,
+	RealEstate: SuperRealEstate,
+	Religion:   SuperReligion,
+	Ecommerce:  SuperShopping, AuctionsMarketplace: SuperShopping, Coupons: SuperShopping,
+	Lifestyle: SuperSocietyLifestyle, ClothingFashion: SuperSocietyLifestyle, FoodDrink: SuperSocietyLifestyle,
+	HobbiesInterests: SuperSocietyLifestyle, HomeGarden: SuperSocietyLifestyle, Pets: SuperSocietyLifestyle,
+	Parenting: SuperSocietyLifestyle, Photography: SuperSocietyLifestyle, Astrology: SuperSocietyLifestyle,
+	DatingRelationships: SuperSocietyLifestyle, ArtsCrafts: SuperSocietyLifestyle, Sexuality: SuperSocietyLifestyle,
+	Tobacco: SuperSocietyLifestyle, BodyArt: SuperSocietyLifestyle, DigitalPostcards: SuperSocietyLifestyle,
+	Sports:     SuperSports,
+	Technology: SuperTechnology,
+	Travel:     SuperTravel,
+	Vehicles:   SuperVehicles,
+	Weapons:    SuperViolence, Violence: SuperViolence,
+	Weather: SuperWeather,
+	Unknown: SuperUnknown,
+}
+
+// verified maps the manually verified categories to their groups.
+var verified = map[Category]SuperCategory{
+	SearchEngines:  SuperSearchEngines,
+	SocialNetworks: SuperSocialNetworks,
+}
+
+// Table3Categories returns the 61 Table 3 categories, sorted by name.
+func Table3Categories() []Category {
+	out := make([]Category, 0, len(table3))
+	for c := range table3 {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Table3SuperCategories returns the 22 Table 3 super-categories,
+// sorted by name.
+func Table3SuperCategories() []SuperCategory {
+	seen := make(map[SuperCategory]struct{})
+	for _, s := range table3 {
+		seen[s] = struct{}{}
+	}
+	out := make([]SuperCategory, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// All returns every category used in the study: Table 3 plus the two
+// manually verified categories, sorted by name.
+func All() []Category {
+	out := Table3Categories()
+	for c := range verified {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SuperOf returns the super-category for c and whether c is known.
+func SuperOf(c Category) (SuperCategory, bool) {
+	if s, ok := table3[c]; ok {
+		return s, true
+	}
+	if s, ok := verified[c]; ok {
+		return s, true
+	}
+	return "", false
+}
+
+// Valid reports whether c is a category used in the study.
+func Valid(c Category) bool {
+	_, ok := SuperOf(c)
+	return ok
+}
+
+// ManuallyVerified reports whether c is one of the two categories the
+// authors validated by hand rather than trusting the API.
+func ManuallyVerified(c Category) bool {
+	_, ok := verified[c]
+	return ok
+}
+
+// InSuper returns the categories belonging to super-category s,
+// sorted by name.
+func InSuper(s SuperCategory) []Category {
+	var out []Category
+	for c, sc := range table3 {
+		if sc == s {
+			out = append(out, c)
+		}
+	}
+	for c, sc := range verified {
+		if sc == s {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

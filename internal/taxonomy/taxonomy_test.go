@@ -1,0 +1,179 @@
+package taxonomy
+
+import "testing"
+
+func TestTable3Counts(t *testing.T) {
+	if got := len(Table3Categories()); got != 61 {
+		t.Errorf("Table 3 categories = %d, want 61 (paper Section 3.2)", got)
+	}
+	if got := len(Table3SuperCategories()); got != 22 {
+		t.Errorf("Table 3 super-categories = %d, want 22 (paper Section 3.2)", got)
+	}
+}
+
+func TestAllIncludesVerified(t *testing.T) {
+	all := All()
+	if len(all) != 63 {
+		t.Fatalf("All() = %d categories, want 63 (61 + 2 verified)", len(all))
+	}
+	found := map[Category]bool{}
+	for _, c := range all {
+		found[c] = true
+	}
+	if !found[SearchEngines] || !found[SocialNetworks] {
+		t.Error("All() must include the manually verified categories")
+	}
+}
+
+func TestAllSorted(t *testing.T) {
+	all := All()
+	for i := 1; i < len(all); i++ {
+		if all[i-1] >= all[i] {
+			t.Fatalf("All() not strictly sorted at %d: %q >= %q", i, all[i-1], all[i])
+		}
+	}
+}
+
+func TestSuperOf(t *testing.T) {
+	cases := []struct {
+		c    Category
+		want SuperCategory
+	}{
+		{Pornography, SuperAdultThemes},
+		{VideoStreaming, SuperEntertainment},
+		{Webmail, SuperInternetComm},
+		{Ecommerce, SuperShopping},
+		{SearchEngines, SuperSearchEngines},
+		{SocialNetworks, SuperSocialNetworks},
+		{DigitalPostcards, SuperSocietyLifestyle},
+	}
+	for _, c := range cases {
+		got, ok := SuperOf(c.c)
+		if !ok || got != c.want {
+			t.Errorf("SuperOf(%q) = %q,%v want %q", c.c, got, ok, c.want)
+		}
+	}
+	if _, ok := SuperOf("Nonsense"); ok {
+		t.Error("unknown category should not resolve")
+	}
+}
+
+func TestValid(t *testing.T) {
+	if !Valid(Gaming) || !Valid(SearchEngines) {
+		t.Error("known categories should be valid")
+	}
+	if Valid("Blogs") {
+		t.Error("unknown category should be invalid")
+	}
+}
+
+func TestManuallyVerified(t *testing.T) {
+	if !ManuallyVerified(SearchEngines) || !ManuallyVerified(SocialNetworks) {
+		t.Error("verified flags missing")
+	}
+	if ManuallyVerified(Gaming) {
+		t.Error("Gaming is API-categorised, not manually verified")
+	}
+}
+
+func TestInSuper(t *testing.T) {
+	ent := InSuper(SuperEntertainment)
+	if len(ent) != 13 {
+		t.Errorf("Entertainment has %d categories, want 13 (Table 3)", len(ent))
+	}
+	soc := InSuper(SuperSocietyLifestyle)
+	if len(soc) != 15 {
+		t.Errorf("Society & Lifestyle has %d categories, want 15 (Table 3)", len(soc))
+	}
+	if got := InSuper(SuperWeather); len(got) != 1 || got[0] != Weather {
+		t.Errorf("Weather super = %v, want [Weather]", got)
+	}
+}
+
+func TestEveryCategoryHasSuper(t *testing.T) {
+	for _, c := range All() {
+		if _, ok := SuperOf(c); !ok {
+			t.Errorf("category %q missing super-category", c)
+		}
+	}
+}
+
+func TestTraitsSanity(t *testing.T) {
+	for _, c := range All() {
+		tr := TraitsOf(c)
+		if tr.DwellSeconds <= 0 {
+			t.Errorf("%q: non-positive dwell %v", c, tr.DwellSeconds)
+		}
+		if tr.MobileLean <= 0 {
+			t.Errorf("%q: non-positive mobile lean %v", c, tr.MobileLean)
+		}
+		if tr.Locality < 0 || tr.Locality > 1 {
+			t.Errorf("%q: locality %v out of [0,1]", c, tr.Locality)
+		}
+		if tr.HeadWeight <= 0 {
+			t.Errorf("%q: non-positive head weight %v", c, tr.HeadWeight)
+		}
+		if tr.SitesPerCountry <= 0 {
+			t.Errorf("%q: non-positive sites per country %v", c, tr.SitesPerCountry)
+		}
+		if tr.DecemberFactor <= 0 {
+			t.Errorf("%q: non-positive December factor %v", c, tr.DecemberFactor)
+		}
+	}
+}
+
+func TestTraitsEncodePaperFindings(t *testing.T) {
+	// Section 4.2: search has the lowest dwell; video streaming the highest.
+	if TraitsOf(SearchEngines).DwellSeconds >= TraitsOf(VideoStreaming).DwellSeconds {
+		t.Error("search dwell should be far below video streaming dwell")
+	}
+	// Section 4.3 (Figure 4): pornography, dating and gambling lean
+	// mobile; educational institutions, webmail, gaming lean desktop.
+	for _, c := range []Category{Pornography, DatingRelationships, Gambling, Magazines} {
+		if TraitsOf(c).MobileLean <= 1 {
+			t.Errorf("%q should be mobile-leaning", c)
+		}
+	}
+	for _, c := range []Category{EducationalInstitutions, Webmail, Gaming, EconomyFinance, Business} {
+		if TraitsOf(c).MobileLean >= 1 {
+			t.Errorf("%q should be desktop-leaning", c)
+		}
+	}
+	// Section 5.2 (Figure 8): technology, pornography, gaming global;
+	// educational institutions, politics, finance national.
+	for _, c := range []Category{Technology, Pornography, Gaming, ChatMessaging, Photography, HobbiesInterests} {
+		if TraitsOf(c).Locality >= 0.5 {
+			t.Errorf("%q should lean global (low locality)", c)
+		}
+	}
+	for _, c := range []Category{EducationalInstitutions, GovernmentPolitics, EconomyFinance, NewsMedia} {
+		if TraitsOf(c).Locality <= 0.5 {
+			t.Errorf("%q should lean national (high locality)", c)
+		}
+	}
+	// Section 4.5: December rises for e-commerce, falls for education.
+	if TraitsOf(Ecommerce).DecemberFactor <= 1 {
+		t.Error("Ecommerce should rise in December")
+	}
+	if TraitsOf(EducationalInstitutions).DecemberFactor >= 1 {
+		t.Error("Educational Institutions should fall in December")
+	}
+}
+
+func TestTraitsOfUnknownFallsBack(t *testing.T) {
+	tr := TraitsOf("Never Heard Of It")
+	if tr != defaultTraits {
+		t.Error("unknown category should get default traits")
+	}
+}
+
+func TestGeneratedCategoriesExcludesRedirect(t *testing.T) {
+	for _, c := range GeneratedCategories() {
+		if c == Redirect {
+			t.Fatal("Redirect should be excluded from generation")
+		}
+	}
+	if len(GeneratedCategories()) != len(All())-1 {
+		t.Error("GeneratedCategories should drop exactly one category")
+	}
+}

@@ -1,0 +1,185 @@
+package taxonomy
+
+// Traits describes the behavioural tendencies of a category. The
+// synthetic world model in internal/world consumes these when
+// generating sites and browsing behaviour; the study's analyses are
+// expected to recover them from the aggregated data.
+type Traits struct {
+	// DwellSeconds is the mean foreground time per completed page
+	// load. Video streaming is very high (a single load, long watch);
+	// search is very low (brisk navigation).
+	DwellSeconds float64
+	// MobileLean multiplies a site's Android popularity relative to
+	// Windows; >1 is mobile-leaning, <1 desktop-leaning. Section 4.3
+	// of the paper measures exactly this skew.
+	MobileLean float64
+	// Locality is the probability that a generated site in this
+	// category is national (endemic to one country) rather than a
+	// global site. Section 5 measures this as endemicity.
+	Locality float64
+	// HeadWeight controls how much probability mass the category's
+	// most popular site receives; higher values concentrate the
+	// category at the head of the web (Section 4.2.3).
+	HeadWeight float64
+	// SitesPerCountry is the approximate number of distinct national
+	// sites generated per country for this category; long-tail
+	// categories (Business) have many, head categories (Search) few.
+	SitesPerCountry int
+	// DecemberFactor scales the category's traffic in December,
+	// modelling the holiday anomaly in Section 4.5 (e-commerce up,
+	// education down).
+	DecemberFactor float64
+}
+
+// defaultTraits is used for categories without explicit entries:
+// neutral platform lean, mostly national, modest tail presence.
+var defaultTraits = Traits{
+	DwellSeconds:    40,
+	MobileLean:      1.0,
+	Locality:        0.85,
+	HeadWeight:      1.0,
+	SitesPerCountry: 12,
+	DecemberFactor:  1.0,
+}
+
+// traits holds explicit per-category settings. Values are chosen so
+// the paper's qualitative findings emerge: search dominates page loads
+// but not time; video streaming dominates desktop time; adult content
+// dominates mobile time; work/school categories lean desktop; December
+// leans e-commerce.
+var traits = map[Category]Traits{
+	SearchEngines:  {DwellSeconds: 12, MobileLean: 1.0, Locality: 0.15, HeadWeight: 14, SitesPerCountry: 2, DecemberFactor: 1.0},
+	SocialNetworks: {DwellSeconds: 95, MobileLean: 1.05, Locality: 0.2, HeadWeight: 8, SitesPerCountry: 2, DecemberFactor: 1.0},
+	VideoStreaming: {DwellSeconds: 620, MobileLean: 0.55, Locality: 0.45, HeadWeight: 3, SitesPerCountry: 2, DecemberFactor: 1.05},
+	MoviesHomeVideo: {DwellSeconds: 300, MobileLean: 0.8, Locality: 0.6, HeadWeight: 2.5,
+		SitesPerCountry: 4, DecemberFactor: 1.05},
+	Television:     {DwellSeconds: 260, MobileLean: 0.8, Locality: 0.95, HeadWeight: 3, SitesPerCountry: 3, DecemberFactor: 1.0},
+	AudioStreaming: {DwellSeconds: 240, MobileLean: 0.9, Locality: 0.3, HeadWeight: 5, SitesPerCountry: 2, DecemberFactor: 1.0},
+	Music:          {DwellSeconds: 85, MobileLean: 1.1, Locality: 0.5, HeadWeight: 2, SitesPerCountry: 5, DecemberFactor: 1.0},
+	CartoonsAnime:  {DwellSeconds: 200, MobileLean: 1.0, Locality: 0.5, HeadWeight: 2, SitesPerCountry: 5, DecemberFactor: 1.0},
+	ComicBooks:     {DwellSeconds: 170, MobileLean: 1.1, Locality: 0.6, HeadWeight: 1.5, SitesPerCountry: 4, DecemberFactor: 1.0},
+	Gaming:         {DwellSeconds: 100, MobileLean: 0.55, Locality: 0.25, HeadWeight: 5, SitesPerCountry: 8, DecemberFactor: 1.05},
+	NewsMedia:      {DwellSeconds: 55, MobileLean: 1.1, Locality: 0.9, HeadWeight: 3.5, SitesPerCountry: 22, DecemberFactor: 0.95},
+	Magazines:      {DwellSeconds: 55, MobileLean: 1.5, Locality: 0.8, HeadWeight: 1.2, SitesPerCountry: 8, DecemberFactor: 1.0},
+	Entertainment:  {DwellSeconds: 50, MobileLean: 1.2, Locality: 0.7, HeadWeight: 1.5, SitesPerCountry: 10, DecemberFactor: 1.0},
+	Arts:           {DwellSeconds: 45, MobileLean: 1.0, Locality: 0.7, HeadWeight: 1, SitesPerCountry: 4, DecemberFactor: 1.0},
+	Paranormal:     {DwellSeconds: 45, MobileLean: 1.2, Locality: 0.7, HeadWeight: 0.8, SitesPerCountry: 1, DecemberFactor: 1.0},
+
+	Pornography: {DwellSeconds: 220, MobileLean: 2.3, Locality: 0.12, HeadWeight: 7, SitesPerCountry: 6, DecemberFactor: 0.98},
+	AdultThemes: {DwellSeconds: 100, MobileLean: 1.8, Locality: 0.4, HeadWeight: 1.5, SitesPerCountry: 4, DecemberFactor: 1.0},
+
+	Business:       {DwellSeconds: 60, MobileLean: 0.45, Locality: 0.85, HeadWeight: 0.6, SitesPerCountry: 40, DecemberFactor: 0.85},
+	EconomyFinance: {DwellSeconds: 55, MobileLean: 0.55, Locality: 0.92, HeadWeight: 1.5, SitesPerCountry: 20, DecemberFactor: 0.95},
+
+	EducationalInstitutions: {DwellSeconds: 90, MobileLean: 0.35, Locality: 0.97, HeadWeight: 1.2, SitesPerCountry: 18, DecemberFactor: 0.7},
+	Education:               {DwellSeconds: 70, MobileLean: 0.6, Locality: 0.8, HeadWeight: 1.2, SitesPerCountry: 14, DecemberFactor: 0.75},
+	Science:                 {DwellSeconds: 60, MobileLean: 0.6, Locality: 0.6, HeadWeight: 0.8, SitesPerCountry: 5, DecemberFactor: 0.85},
+
+	Gambling: {DwellSeconds: 140, MobileLean: 1.9, Locality: 0.8, HeadWeight: 1.5, SitesPerCountry: 6, DecemberFactor: 1.0},
+
+	GovernmentPolitics: {DwellSeconds: 50, MobileLean: 0.7, Locality: 0.98, HeadWeight: 1.5, SitesPerCountry: 12, DecemberFactor: 0.9},
+	PoliticsAdvocacy:   {DwellSeconds: 45, MobileLean: 0.8, Locality: 0.95, HeadWeight: 0.8, SitesPerCountry: 5, DecemberFactor: 0.9},
+
+	HealthFitness: {DwellSeconds: 50, MobileLean: 1.2, Locality: 0.85, HeadWeight: 0.9, SitesPerCountry: 10, DecemberFactor: 0.95},
+	SexEducation:  {DwellSeconds: 45, MobileLean: 1.3, Locality: 0.7, HeadWeight: 0.5, SitesPerCountry: 1, DecemberFactor: 1.0},
+
+	Forums:        {DwellSeconds: 110, MobileLean: 1.0, Locality: 0.85, HeadWeight: 2.5, SitesPerCountry: 8, DecemberFactor: 1.0},
+	Webmail:       {DwellSeconds: 115, MobileLean: 0.4, Locality: 0.5, HeadWeight: 5, SitesPerCountry: 2, DecemberFactor: 0.95},
+	ChatMessaging: {DwellSeconds: 180, MobileLean: 0.9, Locality: 0.25, HeadWeight: 7, SitesPerCountry: 2, DecemberFactor: 1.0},
+
+	JobSearch: {DwellSeconds: 55, MobileLean: 0.8, Locality: 0.9, HeadWeight: 1.2, SitesPerCountry: 5, DecemberFactor: 0.8},
+
+	Redirect: {DwellSeconds: 5, MobileLean: 1.0, Locality: 0.3, HeadWeight: 1, SitesPerCountry: 2, DecemberFactor: 1.0},
+
+	Drugs:               {DwellSeconds: 45, MobileLean: 1.2, Locality: 0.7, HeadWeight: 0.4, SitesPerCountry: 1, DecemberFactor: 1.0},
+	QuestionableContent: {DwellSeconds: 45, MobileLean: 1.2, Locality: 0.6, HeadWeight: 0.5, SitesPerCountry: 2, DecemberFactor: 1.0},
+	Hacking:             {DwellSeconds: 55, MobileLean: 0.8, Locality: 0.4, HeadWeight: 0.5, SitesPerCountry: 1, DecemberFactor: 1.0},
+
+	RealEstate: {DwellSeconds: 70, MobileLean: 0.85, Locality: 0.95, HeadWeight: 1, SitesPerCountry: 6, DecemberFactor: 0.9},
+	Religion:   {DwellSeconds: 50, MobileLean: 1.1, Locality: 0.8, HeadWeight: 0.7, SitesPerCountry: 4, DecemberFactor: 1.1},
+
+	Ecommerce:           {DwellSeconds: 35, MobileLean: 1.15, Locality: 0.7, HeadWeight: 5, SitesPerCountry: 24, DecemberFactor: 1.45},
+	AuctionsMarketplace: {DwellSeconds: 40, MobileLean: 1.1, Locality: 0.85, HeadWeight: 2, SitesPerCountry: 8, DecemberFactor: 1.35},
+	Coupons:             {DwellSeconds: 30, MobileLean: 1.2, Locality: 0.8, HeadWeight: 0.6, SitesPerCountry: 3, DecemberFactor: 1.4},
+
+	Lifestyle:           {DwellSeconds: 48, MobileLean: 1.5, Locality: 0.75, HeadWeight: 1, SitesPerCountry: 10, DecemberFactor: 1.05},
+	ClothingFashion:     {DwellSeconds: 45, MobileLean: 1.5, Locality: 0.7, HeadWeight: 1, SitesPerCountry: 8, DecemberFactor: 1.3},
+	FoodDrink:           {DwellSeconds: 42, MobileLean: 1.3, Locality: 0.8, HeadWeight: 0.9, SitesPerCountry: 8, DecemberFactor: 1.15},
+	HobbiesInterests:    {DwellSeconds: 60, MobileLean: 1.0, Locality: 0.3, HeadWeight: 1, SitesPerCountry: 8, DecemberFactor: 1.1},
+	HomeGarden:          {DwellSeconds: 45, MobileLean: 1.1, Locality: 0.8, HeadWeight: 0.7, SitesPerCountry: 5, DecemberFactor: 1.05},
+	Pets:                {DwellSeconds: 42, MobileLean: 1.2, Locality: 0.7, HeadWeight: 0.6, SitesPerCountry: 3, DecemberFactor: 1.05},
+	Parenting:           {DwellSeconds: 48, MobileLean: 1.4, Locality: 0.8, HeadWeight: 0.6, SitesPerCountry: 3, DecemberFactor: 1.0},
+	Photography:         {DwellSeconds: 65, MobileLean: 1.1, Locality: 0.2, HeadWeight: 1.5, SitesPerCountry: 3, DecemberFactor: 1.0},
+	Astrology:           {DwellSeconds: 40, MobileLean: 1.6, Locality: 0.75, HeadWeight: 0.6, SitesPerCountry: 2, DecemberFactor: 1.0},
+	DatingRelationships: {DwellSeconds: 130, MobileLean: 2.0, Locality: 0.6, HeadWeight: 1.5, SitesPerCountry: 4, DecemberFactor: 1.0},
+	ArtsCrafts:          {DwellSeconds: 50, MobileLean: 1.2, Locality: 0.7, HeadWeight: 0.5, SitesPerCountry: 3, DecemberFactor: 1.2},
+	Sexuality:           {DwellSeconds: 55, MobileLean: 1.5, Locality: 0.6, HeadWeight: 0.4, SitesPerCountry: 1, DecemberFactor: 1.0},
+	Tobacco:             {DwellSeconds: 32, MobileLean: 1.2, Locality: 0.8, HeadWeight: 0.3, SitesPerCountry: 1, DecemberFactor: 1.0},
+	BodyArt:             {DwellSeconds: 42, MobileLean: 1.3, Locality: 0.7, HeadWeight: 0.3, SitesPerCountry: 1, DecemberFactor: 1.0},
+	DigitalPostcards:    {DwellSeconds: 25, MobileLean: 1.1, Locality: 0.7, HeadWeight: 0.2, SitesPerCountry: 1, DecemberFactor: 1.6},
+
+	Sports:     {DwellSeconds: 60, MobileLean: 1.3, Locality: 0.85, HeadWeight: 1.8, SitesPerCountry: 9, DecemberFactor: 0.95},
+	Technology: {DwellSeconds: 50, MobileLean: 0.6, Locality: 0.15, HeadWeight: 2.5, SitesPerCountry: 25, DecemberFactor: 0.95},
+	Travel:     {DwellSeconds: 55, MobileLean: 0.95, Locality: 0.75, HeadWeight: 1, SitesPerCountry: 8, DecemberFactor: 1.1},
+	Vehicles:   {DwellSeconds: 50, MobileLean: 0.85, Locality: 0.85, HeadWeight: 0.9, SitesPerCountry: 6, DecemberFactor: 0.95},
+	Weapons:    {DwellSeconds: 40, MobileLean: 0.9, Locality: 0.8, HeadWeight: 0.3, SitesPerCountry: 1, DecemberFactor: 1.0},
+	Violence:   {DwellSeconds: 35, MobileLean: 1.0, Locality: 0.7, HeadWeight: 0.2, SitesPerCountry: 1, DecemberFactor: 1.0},
+	Weather:    {DwellSeconds: 22, MobileLean: 1.2, Locality: 0.9, HeadWeight: 2, SitesPerCountry: 3, DecemberFactor: 1.0},
+	Unknown:    {DwellSeconds: 38, MobileLean: 1.0, Locality: 0.8, HeadWeight: 0.5, SitesPerCountry: 15, DecemberFactor: 1.0},
+}
+
+// SummerFactorOf scales a category's traffic in the northern-
+// hemisphere summer months (July/August) — the window the paper could
+// not measure but flags as likely anomalous (Section 6): school is
+// out, travel is up.
+func SummerFactorOf(c Category) float64 {
+	switch c {
+	case EducationalInstitutions:
+		return 0.45
+	case Education:
+		return 0.55
+	case Science:
+		return 0.7
+	case Business:
+		return 0.85
+	case Webmail:
+		return 0.85
+	case JobSearch:
+		return 0.85
+	case Travel:
+		return 1.4
+	case Sports:
+		return 1.15
+	case Weather:
+		return 1.15
+	case Gaming:
+		return 1.2
+	case VideoStreaming:
+		return 1.1
+	}
+	return 1
+}
+
+// TraitsOf returns the behavioural traits for c, falling back to
+// neutral defaults for categories without explicit entries.
+func TraitsOf(c Category) Traits {
+	if t, ok := traits[c]; ok {
+		return t
+	}
+	return defaultTraits
+}
+
+// GeneratedCategories returns the categories the world model
+// instantiates national sites for, sorted by name. It excludes only
+// Redirect (which the paper's Chrome pipeline mostly filters out as
+// non-user-initiated navigation).
+func GeneratedCategories() []Category {
+	var out []Category
+	for _, c := range All() {
+		if c == Redirect {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+
+	"wwb/internal/world"
+)
+
+func TestSampleClientLoadsMean(t *testing.T) {
+	rng := world.NewRNG(31)
+	cfg := DefaultActivityConfig()
+	loads := SampleClientLoads(rng, 50000, cfg)
+	if len(loads) != 50000 {
+		t.Fatalf("clients = %d", len(loads))
+	}
+	var sum float64
+	for _, l := range loads {
+		if l < 0 {
+			t.Fatal("negative loads")
+		}
+		sum += float64(l)
+	}
+	mean := sum / float64(len(loads))
+	// Pareto with alpha 1.45 has high variance; allow a wide band
+	// around the configured mean.
+	if math.Abs(mean-cfg.MeanLoads)/cfg.MeanLoads > 0.35 {
+		t.Errorf("mean loads = %v, want ≈%v", mean, cfg.MeanLoads)
+	}
+}
+
+func TestActivitySkewMatchesGoel(t *testing.T) {
+	// Goel et al. (the paper's Section 2): top 20% of users generate
+	// more than 60% of page views.
+	rng := world.NewRNG(37)
+	loads := SampleClientLoads(rng, 30000, DefaultActivityConfig())
+	share := TopShare(loads, 0.2)
+	if share < 0.55 || share > 0.85 {
+		t.Errorf("top-20%% share = %.3f, want ≈0.6+", share)
+	}
+	// Skew is monotone in the quantile.
+	if TopShare(loads, 0.5) <= share {
+		t.Error("top-50% must exceed top-20% share")
+	}
+}
+
+func TestSampleClientLoadsAlphaControlsSkew(t *testing.T) {
+	rng := world.NewRNG(41)
+	flat := SampleClientLoads(rng, 20000, ActivityConfig{MeanLoads: 1000, ParetoAlpha: 6})
+	skewed := SampleClientLoads(rng, 20000, ActivityConfig{MeanLoads: 1000, ParetoAlpha: 1.2})
+	if TopShare(skewed, 0.2) <= TopShare(flat, 0.2) {
+		t.Error("lower alpha should concentrate load on fewer clients")
+	}
+}
+
+func TestSampleClientLoadsEdges(t *testing.T) {
+	rng := world.NewRNG(43)
+	if SampleClientLoads(rng, 0, DefaultActivityConfig()) != nil {
+		t.Error("zero clients should yield nil")
+	}
+	// Alpha at or below 1 is clamped rather than exploding.
+	loads := SampleClientLoads(rng, 100, ActivityConfig{MeanLoads: 100, ParetoAlpha: 0.5})
+	for _, l := range loads {
+		if l < 0 {
+			t.Fatal("clamped alpha produced negatives")
+		}
+	}
+}
+
+func TestTopShareEdges(t *testing.T) {
+	if TopShare(nil, 0.2) != 0 {
+		t.Error("empty input should yield 0")
+	}
+	if TopShare([]int{0, 0}, 0.5) != 0 {
+		t.Error("all-zero volume should yield 0")
+	}
+	if got := TopShare([]int{10}, 0.2); got != 1 {
+		t.Errorf("single client share = %v, want 1 (k clamps to 1)", got)
+	}
+	if got := TopShare([]int{5, 5, 5, 5, 5}, 1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("full fraction share = %v, want 1", got)
+	}
+}

@@ -1,0 +1,195 @@
+package telemetry
+
+import (
+	"sort"
+	"strings"
+
+	"wwb/internal/world"
+)
+
+// PageLoadEvent is one completed page load (First Contentful Paint) as
+// the browser records it.
+type PageLoadEvent struct {
+	Domain string
+}
+
+// ForegroundEvent is recorded each time a page is backgrounded,
+// carrying the foreground duration in milliseconds (Section 3.1).
+type ForegroundEvent struct {
+	Domain     string
+	DurationMS int64
+}
+
+// ClientTrace is the telemetry a single simulated client produces in
+// one month: all its page loads plus the *down-sampled* foreground
+// events that actually get uploaded.
+type ClientTrace struct {
+	ClientID uint64
+	Loads    []PageLoadEvent
+	// Foreground contains only the uploaded (sampled) events; the
+	// client's full foreground history never leaves the device.
+	Foreground []ForegroundEvent
+}
+
+// nonPublicDomain is the synthetic stand-in for intranet hosts; the
+// collector must drop it (Chrome excludes domains that are not
+// hyperlinked from public websites).
+const nonPublicDomain = "intranet.corp.internal"
+
+// IsNonPublic reports whether a domain is non-public and must be
+// excluded from aggregation.
+func IsNonPublic(domain string) bool {
+	return domain == nonPublicDomain || strings.HasSuffix(domain, ".internal") ||
+		strings.HasSuffix(domain, ".local")
+}
+
+// Client simulates one browser install in a country/platform.
+type Client struct {
+	ID       uint64
+	rng      *world.RNG
+	cfg      Config
+	country  world.Country
+	platform world.Platform
+
+	// cumulative weights over the candidate sites for O(log n) draws.
+	sites  []world.SiteWeight
+	cumSum []float64
+	total  float64
+}
+
+// NewClient prepares a client that browses according to the world's
+// expected weights for its cell. Each client's choices are drawn from
+// its own stream so traces are independent and reproducible.
+func NewClient(rng *world.RNG, w *world.World, cfg Config, id uint64, country world.Country, platform world.Platform, month world.Month) *Client {
+	weights := w.Weights(country.Code, platform, month)
+	cum := make([]float64, len(weights))
+	var total float64
+	for i, sw := range weights {
+		total += sw.Loads
+		cum[i] = total
+	}
+	return &Client{
+		ID:       id,
+		rng:      rng,
+		cfg:      cfg,
+		country:  country,
+		platform: platform,
+		sites:    weights,
+		cumSum:   cum,
+		total:    total,
+	}
+}
+
+// Browse simulates nLoads page loads and returns the uploaded trace.
+// Each load may produce a foreground event, uploaded with probability
+// cfg.DownsampleRate. A small share of loads targets non-public
+// domains, which appear in the trace and must be filtered by the
+// collector.
+func (cl *Client) Browse(nLoads int) ClientTrace {
+	trace := ClientTrace{ClientID: cl.ID}
+	if cl.total == 0 || nLoads <= 0 {
+		return trace
+	}
+	for i := 0; i < nLoads; i++ {
+		var domain string
+		var dwell float64
+		if cl.rng.Float64() < cl.cfg.NonPublicShare {
+			domain, dwell = nonPublicDomain, 120
+		} else {
+			sw := cl.pick()
+			domain = sw.Site.DomainIn(cl.country)
+			dwell = sw.Site.DwellMean
+		}
+		trace.Loads = append(trace.Loads, PageLoadEvent{Domain: domain})
+		if cl.rng.Float64() < cl.cfg.DownsampleRate {
+			// The uploaded event carries this visit's foreground time.
+			dur := dwell * cl.rng.LogNormal(-0.1, 0.45) * 1000
+			trace.Foreground = append(trace.Foreground, ForegroundEvent{
+				Domain:     domain,
+				DurationMS: int64(dur),
+			})
+		}
+	}
+	return trace
+}
+
+// pick draws a site proportionally to its load weight via binary
+// search over the cumulative weights.
+func (cl *Client) pick() world.SiteWeight {
+	x := cl.rng.Float64() * cl.total
+	lo, hi := 0, len(cl.cumSum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cl.cumSum[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return cl.sites[lo]
+}
+
+// Collector aggregates uploaded client traces into per-site stats the
+// way the Chrome pipeline does: loads counted directly, foreground
+// time scaled up by the down-sampling rate, unique clients counted
+// exactly, and non-public domains dropped.
+type Collector struct {
+	cfg     Config
+	loads   map[string]int64
+	timeMS  map[string]int64
+	clients map[string]map[uint64]struct{}
+}
+
+// NewCollector returns an empty collector.
+func NewCollector(cfg Config) *Collector {
+	return &Collector{
+		cfg:     cfg,
+		loads:   make(map[string]int64),
+		timeMS:  make(map[string]int64),
+		clients: make(map[string]map[uint64]struct{}),
+	}
+}
+
+// Add ingests one client trace.
+func (co *Collector) Add(trace ClientTrace) {
+	for _, ev := range trace.Loads {
+		if IsNonPublic(ev.Domain) {
+			continue
+		}
+		co.loads[ev.Domain]++
+		set := co.clients[ev.Domain]
+		if set == nil {
+			set = make(map[uint64]struct{})
+			co.clients[ev.Domain] = set
+		}
+		set[trace.ClientID] = struct{}{}
+	}
+	for _, ev := range trace.Foreground {
+		if IsNonPublic(ev.Domain) {
+			continue
+		}
+		// Scale the sampled duration back up to estimate the total.
+		co.timeMS[ev.Domain] += int64(float64(ev.DurationMS) / co.cfg.DownsampleRate)
+	}
+}
+
+// Stats returns the aggregated site statistics sorted by loads
+// descending (ties by domain for determinism).
+func (co *Collector) Stats() []SiteStats {
+	out := make([]SiteStats, 0, len(co.loads))
+	for domain, loads := range co.loads {
+		out = append(out, SiteStats{
+			Domain:  domain,
+			Loads:   loads,
+			TimeMS:  co.timeMS[domain],
+			Clients: int64(len(co.clients[domain])),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Loads != out[j].Loads {
+			return out[i].Loads > out[j].Loads
+		}
+		return out[i].Domain < out[j].Domain
+	})
+	return out
+}

@@ -1,0 +1,182 @@
+// Package telemetry simulates the client side of the paper's data
+// pipeline: Chrome clients producing page-load and foreground-time
+// events, the privacy down-sampling of foreground events (each event
+// has a ≈0.35 % chance of being uploaded, Section 3.1), exclusion of
+// non-public domains, and the aggregation of client events into
+// per-(country, platform, month) site statistics.
+//
+// Two paths produce the same aggregate shape:
+//
+//   - An event-level path (Client, Collector) that simulates individual
+//     browsing sessions faithfully; used at small scale and in tests to
+//     validate the mechanics.
+//   - An aggregate path (SampleCell) that samples the same statistical
+//     process analytically at population scale; used to assemble the
+//     full dataset, exactly as a fleet of hundreds of millions of
+//     clients would — the analyses only ever see aggregates.
+package telemetry
+
+import (
+	"math"
+	"sort"
+
+	"wwb/internal/world"
+)
+
+// Config parameterises the simulated client population.
+type Config struct {
+	// LoadsPerClient is the mean completed page loads per client per
+	// month.
+	LoadsPerClient float64
+	// ClientsPerPopUnit converts a country's WebPopulation weight into
+	// a client count per platform before the platform split.
+	ClientsPerPopUnit float64
+	// DownsampleRate is the probability a page-foreground event is
+	// uploaded (Chrome uses ≈0.0035).
+	DownsampleRate float64
+	// VisitsPerClientSite is the mean monthly loads a client gives a
+	// site they visit; it converts load counts into unique-client
+	// estimates.
+	VisitsPerClientSite float64
+	// NonPublicShare is the fraction of client page loads that target
+	// non-public domains (intranets); Chrome excludes them upstream.
+	NonPublicShare float64
+}
+
+// DefaultConfig returns production-like rates at simulator scale.
+func DefaultConfig() Config {
+	return Config{
+		LoadsPerClient:      1300,
+		ClientsPerPopUnit:   2000,
+		DownsampleRate:      0.0035,
+		VisitsPerClientSite: 8,
+		NonPublicShare:      0.02,
+	}
+}
+
+// SiteStats is the aggregate telemetry for one site in one cell.
+type SiteStats struct {
+	// Domain is the site's domain as seen in this country.
+	Domain string
+	// Loads is the number of completed page loads.
+	Loads int64
+	// TimeMS is the total foreground time in milliseconds,
+	// reconstructed from the down-sampled foreground events (scaled
+	// back up by the sampling rate, as the collection pipeline does).
+	TimeMS int64
+	// Clients is the estimated number of unique clients (browser
+	// installs) that visited the site; the privacy threshold applies
+	// to this figure.
+	Clients int64
+}
+
+// Cell identifies one (country, platform, month) aggregation cell.
+type Cell struct {
+	Country  string
+	Platform world.Platform
+	Month    world.Month
+}
+
+// Clients returns the number of simulated clients for a country and
+// platform under cfg.
+func (cfg Config) Clients(c world.Country, p world.Platform) float64 {
+	pop := c.WebPopulation * cfg.ClientsPerPopUnit
+	if p == world.Android {
+		return pop * c.MobileShare
+	}
+	return pop * (1 - c.MobileShare)
+}
+
+// SampleCell produces the aggregate telemetry for one cell by sampling
+// the generative process at population scale: Poisson page loads per
+// site, foreground-time reconstruction with down-sampling error, and
+// an occupancy-based unique-client estimate.
+//
+// The returned slice is sorted by loads descending. rng must be a
+// stream dedicated to this cell so cells are independent and
+// reproducible.
+func SampleCell(rng *world.RNG, w *world.World, cfg Config, cell Cell) []SiteStats {
+	c, ok := world.CountryByCode(cell.Country)
+	if !ok {
+		return nil
+	}
+	weights := w.Weights(cell.Country, cell.Platform, cell.Month)
+	var totalWeight float64
+	for _, sw := range weights {
+		totalWeight += sw.Loads
+	}
+	if totalWeight == 0 {
+		return nil
+	}
+	clients := cfg.Clients(c, cell.Platform)
+	totalLoads := clients * cfg.LoadsPerClient
+
+	out := make([]SiteStats, 0, len(weights))
+	for _, sw := range weights {
+		expLoads := sw.Loads / totalWeight * totalLoads
+		loads := rng.Poisson(expLoads)
+		if loads == 0 {
+			continue
+		}
+		stats := SiteStats{
+			Domain: sw.Site.DomainIn(c),
+			Loads:  int64(loads),
+			TimeMS: sampleTimeMS(rng, float64(loads), sw.Site.DwellMean, cfg.DownsampleRate),
+			Clients: uniqueClients(rng, float64(loads), clients,
+				cfg.VisitsPerClientSite),
+		}
+		out = append(out, stats)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Loads != out[j].Loads {
+			return out[i].Loads > out[j].Loads
+		}
+		return out[i].Domain < out[j].Domain
+	})
+	return out
+}
+
+// sampleTimeMS reconstructs total foreground time from down-sampled
+// events. With n = loads·rate uploaded events, the reconstruction's
+// relative error shrinks as 1/√n; sites with few loads get noisy time
+// (mirroring the telemetry error the paper documents for a small
+// fraction of domains).
+func sampleTimeMS(rng *world.RNG, loads, dwellSeconds, rate float64) int64 {
+	expected := loads * dwellSeconds * 1000
+	n := loads * rate
+	if n < 1 {
+		n = 1
+	}
+	sigma := 0.45 / math.Sqrt(n) // per-event dwell spread ≈ lognormal σ 0.45
+	if sigma > 1.2 {
+		sigma = 1.2
+	}
+	v := expected * rng.LogNormal(-sigma*sigma/2, sigma)
+	if v < 0 {
+		v = 0
+	}
+	return int64(v)
+}
+
+// uniqueClients estimates distinct visiting clients via the occupancy
+// formula: with L loads spread over P clients at k loads per visitor,
+// the expected number of distinct visitors is P(1 - exp(-L/(Pk))).
+func uniqueClients(rng *world.RNG, loads, population, perVisitor float64) int64 {
+	if population <= 0 || perVisitor <= 0 {
+		return 0
+	}
+	mean := population * (1 - math.Exp(-loads/(population*perVisitor)))
+	// Mild sampling noise, never exceeding the load count or the
+	// population.
+	v := mean * rng.LogNormal(0, 0.05)
+	if v > loads {
+		v = loads
+	}
+	if v > population {
+		v = population
+	}
+	if v < 1 {
+		v = 1
+	}
+	return int64(v)
+}

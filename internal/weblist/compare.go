@@ -1,0 +1,74 @@
+package weblist
+
+import (
+	"wwb/internal/rbo"
+	"wwb/internal/stats"
+)
+
+// Agreement quantifies how well a provider's list matches the
+// browsing ground truth at one depth.
+type Agreement struct {
+	Provider Provider
+	Depth    int
+	// Intersection is |provider ∩ truth| / depth.
+	Intersection float64
+	// Spearman correlates the common sites' ranks.
+	Spearman float64
+	// RBO is geometric rank-biased overlap (p = 0.99) between the two
+	// lists, emphasising the head.
+	RBO float64
+}
+
+// Compare measures a provider list against the browsing truth at the
+// given depths. Both lists must be at least as deep as the largest
+// depth for the intersection to be meaningful; shorter lists are used
+// as-is.
+func Compare(provider Provider, list, truth []string, depths []int) []Agreement {
+	truthRank := make(map[string]int, len(truth))
+	for i, k := range truth {
+		truthRank[k] = i + 1
+	}
+	var out []Agreement
+	for _, d := range depths {
+		lp := clip(list, d)
+		lt := clip(truth, d)
+		// Intersection over the truth slice.
+		set := make(map[string]struct{}, len(lp))
+		for _, k := range lp {
+			set[k] = struct{}{}
+		}
+		common := 0
+		for _, k := range lt {
+			if _, ok := set[k]; ok {
+				common++
+			}
+		}
+		inter := 0.0
+		if len(lt) > 0 {
+			inter = float64(common) / float64(len(lt))
+		}
+		// Spearman over common sites with full-list ranks.
+		var ra, rb []float64
+		for i, k := range lp {
+			if tr, ok := truthRank[k]; ok {
+				ra = append(ra, float64(i+1))
+				rb = append(rb, float64(tr))
+			}
+		}
+		out = append(out, Agreement{
+			Provider:     provider,
+			Depth:        d,
+			Intersection: inter,
+			Spearman:     stats.Spearman(ra, rb),
+			RBO:          rbo.RBO(lp, lt, 0.99),
+		})
+	}
+	return out
+}
+
+func clip(xs []string, n int) []string {
+	if n < len(xs) {
+		return xs[:n]
+	}
+	return xs
+}

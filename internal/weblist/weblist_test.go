@@ -1,0 +1,204 @@
+package weblist
+
+import (
+	"math"
+	"testing"
+
+	"wwb/internal/chrome"
+	"wwb/internal/telemetry"
+	"wwb/internal/world"
+)
+
+var (
+	testWorld   = world.Generate(world.SmallConfig())
+	testDataset = chrome.Assemble(testWorld, telemetry.DefaultConfig(), chrome.Options{
+		PrivacyThreshold: 50,
+		TopN:             10000,
+		DistMonth:        world.Feb2022,
+		Seed:             1,
+		Months:           []world.Month{world.Feb2022},
+	})
+	truth = BrowsingTop(testDataset, world.Feb2022, 5000)
+)
+
+func TestProviderStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range Providers {
+		s := p.String()
+		if s == "" || s == "unknown provider" || seen[s] {
+			t.Errorf("bad provider string %q", s)
+		}
+		seen[s] = true
+	}
+	if Provider(99).String() != "unknown provider" {
+		t.Error("out-of-range provider string")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a := Build(testWorld, AlexaLike, DefaultOptions(), 500)
+	b := Build(testWorld, AlexaLike, DefaultOptions(), 500)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("position %d differs: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestBuildHeadsStaySane(t *testing.T) {
+	// Whatever the provider's bias, google should remain near the
+	// very top of every list: the signal is strong enough to survive.
+	for _, p := range Providers {
+		list := Build(testWorld, p, DefaultOptions(), 100)
+		pos := -1
+		for i, k := range list {
+			if k == "google" {
+				pos = i
+			}
+		}
+		if pos < 0 || pos > 20 {
+			t.Errorf("%s: google at position %d", p, pos)
+		}
+	}
+}
+
+func TestBrowsingTopShape(t *testing.T) {
+	if len(truth) != 5000 {
+		t.Fatalf("truth length = %d", len(truth))
+	}
+	if truth[0] != "google" {
+		t.Errorf("truth #1 = %s", truth[0])
+	}
+	seen := map[string]bool{}
+	for _, k := range truth {
+		if seen[k] {
+			t.Fatalf("duplicate key %s", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestProvidersDiverge(t *testing.T) {
+	// The three providers must disagree with each other — they measure
+	// different phenomena.
+	a := Build(testWorld, AlexaLike, DefaultOptions(), 1000)
+	u := Build(testWorld, UmbrellaLike, DefaultOptions(), 1000)
+	m := Build(testWorld, MajesticLike, DefaultOptions(), 1000)
+	if eq(a, u) || eq(u, m) || eq(a, m) {
+		t.Error("providers should produce different lists")
+	}
+}
+
+func eq(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCompareAgainstTruth(t *testing.T) {
+	depths := []int{10, 100, 1000}
+	for _, p := range Providers {
+		list := Build(testWorld, p, DefaultOptions(), 5000)
+		rows := Compare(p, list, truth, depths)
+		if len(rows) != len(depths) {
+			t.Fatalf("%s: rows = %d", p, len(rows))
+		}
+		for _, r := range rows {
+			if r.Intersection < 0 || r.Intersection > 1 {
+				t.Errorf("%s@%d: intersection %v", p, r.Depth, r.Intersection)
+			}
+			if r.RBO < 0 || r.RBO > 1 {
+				t.Errorf("%s@%d: RBO %v", p, r.Depth, r.RBO)
+			}
+			if !math.IsNaN(r.Spearman) && (r.Spearman < -1 || r.Spearman > 1) {
+				t.Errorf("%s@%d: Spearman %v", p, r.Depth, r.Spearman)
+			}
+		}
+	}
+}
+
+func TestPanelSizeControlsNoise(t *testing.T) {
+	// A tiny panel should agree with the truth less than a huge one —
+	// the brittleness prior work documented.
+	small := DefaultOptions()
+	small.PanelSize = 2e4
+	big := DefaultOptions()
+	big.PanelSize = 2e8
+	smallList := Build(testWorld, AlexaLike, small, 5000)
+	bigList := Build(testWorld, AlexaLike, big, 5000)
+	smallAg := Compare(AlexaLike, smallList, truth, []int{1000})[0]
+	bigAg := Compare(AlexaLike, bigList, truth, []int{1000})[0]
+	if bigAg.Intersection <= smallAg.Intersection {
+		t.Errorf("bigger panel should agree more: %v vs %v",
+			bigAg.Intersection, smallAg.Intersection)
+	}
+}
+
+func TestUmbrellaOverweightsInfrastructure(t *testing.T) {
+	// The DNS lens should push technology/business infrastructure up
+	// relative to the browsing truth.
+	list := Build(testWorld, UmbrellaLike, DefaultOptions(), 2000)
+	listRank := map[string]int{}
+	for i, k := range list {
+		listRank[k] = i + 1
+	}
+	truthRank := map[string]int{}
+	for i, k := range truth {
+		truthRank[k] = i + 1
+	}
+	improved, worsened := 0, 0
+	for _, s := range testWorld.Sites() {
+		tr, ok1 := truthRank[s.Key]
+		lr, ok2 := listRank[s.Key]
+		if !ok1 || !ok2 {
+			continue
+		}
+		if s.Category == "Technology" || s.Category == "Business" {
+			if lr < tr {
+				improved++
+			} else if lr > tr {
+				worsened++
+			}
+		}
+	}
+	if improved <= worsened {
+		t.Errorf("infrastructure categories should rank higher under DNS: %d improved vs %d worsened",
+			improved, worsened)
+	}
+}
+
+func TestMajesticUnderweightsEntertainment(t *testing.T) {
+	list := Build(testWorld, MajesticLike, DefaultOptions(), 2000)
+	listRank := map[string]int{}
+	for i, k := range list {
+		listRank[k] = i + 1
+	}
+	// Porn giants should fall far down the link-based list relative to
+	// their browsing ranks.
+	truthRank := map[string]int{}
+	for i, k := range truth {
+		truthRank[k] = i + 1
+	}
+	for _, key := range []string{"pornhub", "xvideos", "xnxx"} {
+		tr, ok := truthRank[key]
+		if !ok {
+			continue
+		}
+		lr, ok := listRank[key]
+		if !ok {
+			continue // fell out of the top 2000 entirely: bias confirmed
+		}
+		if lr <= tr {
+			t.Errorf("%s: link rank %d should be worse than browsing rank %d", key, lr, tr)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package world
+
+import "wwb/internal/taxonomy"
+
+// anchorSpec declares one globally popular anchor site. Weights are
+// relative desktop page-load propensities; they are calibrated so the
+// paper's concentration findings hold (top site ≈ 17 % of Windows
+// loads, 25 % captured by six sites, Section 4.1).
+type anchorSpec struct {
+	key         string
+	cat         taxonomy.Category
+	weight      float64
+	appFactor   float64 // Android native-app siphon; 0 means default 1
+	mobileBoost float64 // extra Android multiplier; 0 means default 1
+	multiTLD    bool
+	lang        string
+	tld         string  // default "com"
+	dwell       float64 // site-specific dwell override in seconds; 0 = category dwell
+	overrides   map[string]float64
+}
+
+// usTimeLean reduces YouTube's edge in the five countries where the
+// paper finds Google, not YouTube, captures the most time (Section
+// 4.1: "Google is the top site for the remaining 5 countries,
+// including the United States").
+var youtubeTimeOverrides = map[string]float64{
+	"US": 0.24, "CA": 0.26, "JP": 0.24, "HK": 0.26, "TW": 0.26,
+}
+
+// anchors is the hand-curated table of globally popular sites. It
+// covers every major use case the paper observes in top-10 lists
+// (Section 4.2.1): search, video sharing, social, chat, e-commerce,
+// streaming, adult content, gaming, business platforms, and the long
+// tail of globally recognised services.
+var anchors = []anchorSpec{
+	// Search engines. Google is #1 by loads in 44/45 countries.
+	// Google's dwell is well above the search-category mean: the
+	// domain aggregates long-session properties (maps, docs, photos),
+	// which is how it captures the most time in five countries.
+	{key: "google", cat: taxonomy.SearchEngines, weight: 1900, multiTLD: true, dwell: 45,
+		overrides: map[string]float64{"KR": 0.62}},
+	{key: "bing", cat: taxonomy.SearchEngines, weight: 52},
+	{key: "duckduckgo", cat: taxonomy.SearchEngines, weight: 16},
+	{key: "yahoo", cat: taxonomy.SearchEngines, weight: 55, multiTLD: true,
+		overrides: map[string]float64{"JP": 6.0, "TW": 2.0, "HK": 2.0}},
+	// Video sharing. YouTube is #1 by time in 40/45 countries; its
+	// native app makes Android web traffic much smaller.
+	{key: "youtube", cat: taxonomy.VideoStreaming, weight: 430, appFactor: 0.3, dwell: 650,
+		overrides: youtubeTimeOverrides},
+	{key: "dailymotion", cat: taxonomy.VideoStreaming, weight: 10, lang: "fr",
+		overrides: map[string]float64{"FR": 3.0}},
+	{key: "vimeo", cat: taxonomy.VideoStreaming, weight: 7},
+	// Social networks.
+	{key: "facebook", cat: taxonomy.SocialNetworks, weight: 210, appFactor: 0.8,
+		overrides: map[string]float64{"JP": 0.25, "KR": 0.25, "RU": 0.2, "US": 0.8}},
+	{key: "instagram", cat: taxonomy.SocialNetworks, weight: 80, appFactor: 0.5,
+		overrides: map[string]float64{"JP": 0.6, "KR": 0.5, "RU": 0.4}},
+	{key: "twitter", cat: taxonomy.SocialNetworks, weight: 75, appFactor: 0.65,
+		overrides: map[string]float64{"JP": 2.6, "US": 1.3}},
+	{key: "tiktok", cat: taxonomy.SocialNetworks, weight: 42, appFactor: 0.35},
+	{key: "pinterest", cat: taxonomy.SocialNetworks, weight: 30, appFactor: 0.9},
+	{key: "reddit", cat: taxonomy.Forums, weight: 38, appFactor: 0.8, lang: "en",
+		overrides: map[string]float64{"US": 1.6, "CA": 1.5, "GB": 1.3, "AU": 1.4, "NZ": 1.4}},
+	{key: "linkedin", cat: taxonomy.Business, weight: 30, appFactor: 0.8},
+	// Chat and messaging. WhatsApp Web is desktop-dominant because the
+	// phone side uses the native app.
+	{key: "whatsapp", cat: taxonomy.ChatMessaging, weight: 105, appFactor: 0.05,
+		overrides: map[string]float64{"US": 0.25, "JP": 0.1, "KR": 0.1, "VN": 0.3,
+			"BR": 1.8, "IN": 1.7, "MX": 1.6, "AR": 1.6, "ES": 1.4, "ID": 1.5}},
+	{key: "messenger", cat: taxonomy.ChatMessaging, weight: 42, appFactor: 0.4},
+	{key: "telegram", cat: taxonomy.ChatMessaging, weight: 28, appFactor: 0.2,
+		overrides: map[string]float64{"RU": 2.2, "UA": 2.0, "IN": 1.4}},
+	{key: "discord", cat: taxonomy.ChatMessaging, weight: 36, appFactor: 0.7},
+	{key: "zoom", cat: taxonomy.ChatMessaging, weight: 24, appFactor: 0.6},
+	// E-commerce.
+	{key: "amazon", cat: taxonomy.Ecommerce, weight: 80, multiTLD: true, appFactor: 0.7,
+		overrides: map[string]float64{"US": 1.6, "GB": 1.5, "DE": 1.6, "JP": 1.5, "IN": 1.3,
+			"CA": 1.4, "IT": 1.3, "ES": 1.2, "FR": 1.2, "AU": 1.1,
+			"AR": 0.1, "BO": 0.05, "CL": 0.15, "CO": 0.1, "EC": 0.05, "PE": 0.1,
+			"UY": 0.1, "VE": 0.05, "BR": 0.15, "MX": 0.5, "VN": 0.1, "ID": 0.1, "TH": 0.2}},
+	{key: "aliexpress", cat: taxonomy.Ecommerce, weight: 36,
+		overrides: map[string]float64{"RU": 2.2, "BR": 1.5, "ES": 1.5, "PL": 1.6, "US": 0.4}},
+	{key: "ebay", cat: taxonomy.AuctionsMarketplace, weight: 30, multiTLD: true,
+		overrides: map[string]float64{"US": 1.5, "GB": 1.5, "DE": 1.6, "AU": 1.3}},
+	{key: "shopee", cat: taxonomy.Ecommerce, weight: 95, multiTLD: true, appFactor: 0.6, lang: "id",
+		overrides: map[string]float64{"ID": 1.6, "VN": 1.5, "TW": 1.4, "TH": 1.4, "PH": 1.5,
+			"BR": 0.6, "CL": 0.3, "CO": 0.3, "MX": 0.3}},
+	{key: "mercadolibre", cat: taxonomy.Ecommerce, weight: 85, multiTLD: true, lang: "es",
+		overrides: map[string]float64{"AR": 1.8, "MX": 1.5, "CL": 1.3, "CO": 1.3, "UY": 1.6,
+			"VE": 1.2, "EC": 1.1, "PE": 1.1, "BO": 1.0, "BR": 1.4, "ES": 0.02}},
+	{key: "etsy", cat: taxonomy.Ecommerce, weight: 9, lang: "en"},
+	{key: "walmart", cat: taxonomy.Ecommerce, weight: 14,
+		overrides: map[string]float64{"US": 2.2, "CA": 1.5, "MX": 1.8}},
+	{key: "olx", cat: taxonomy.AuctionsMarketplace, weight: 40, multiTLD: true,
+		overrides: map[string]float64{"PL": 1.8, "UA": 1.8, "BR": 1.6, "IN": 1.3, "ID": 1.2,
+			"US": 0.02, "GB": 0.02, "JP": 0.01, "KR": 0.01}},
+	{key: "craigslist", cat: taxonomy.AuctionsMarketplace, weight: 11, lang: "en",
+		overrides: map[string]float64{"US": 2.6, "CA": 1.8}},
+	// Video/TV streaming. Netflix has the largest global adoption
+	// (41/42 countries with streaming in the top ten).
+	{key: "netflix", cat: taxonomy.MoviesHomeVideo, weight: 46, appFactor: 0.35,
+		overrides: map[string]float64{"JP": 0.3, "VN": 0.2, "RU": 0.05}},
+	{key: "primevideo", cat: taxonomy.MoviesHomeVideo, weight: 16, appFactor: 0.5},
+	{key: "disneyplus", cat: taxonomy.MoviesHomeVideo, weight: 12, appFactor: 0.45,
+		overrides: map[string]float64{"RU": 0.02, "VN": 0.1}},
+	{key: "hbomax", cat: taxonomy.MoviesHomeVideo, weight: 11, appFactor: 0.5,
+		overrides: map[string]float64{"US": 1.8, "BR": 1.4, "MX": 1.4, "AR": 1.3, "CL": 1.3,
+			"CO": 1.2, "ES": 1.1, "JP": 0.01, "KR": 0.01, "IN": 0.01, "VN": 0.01, "RU": 0.01}},
+	{key: "hulu", cat: taxonomy.MoviesHomeVideo, weight: 7,
+		overrides: map[string]float64{"US": 3.0, "JP": 1.5}},
+	{key: "fmovies", cat: taxonomy.MoviesHomeVideo, weight: 9, tld: "to"},
+	// Adult content: no native apps, strongly mobile-leaning, censored
+	// in KR/TR/VN/RU (Section 5.3.2).
+	{key: "pornhub", cat: taxonomy.Pornography, weight: 38},
+	{key: "xvideos", cat: taxonomy.Pornography, weight: 40},
+	{key: "xnxx", cat: taxonomy.Pornography, weight: 37},
+	{key: "spankbang", cat: taxonomy.Pornography, weight: 8},
+	{key: "onlyfans", cat: taxonomy.AdultThemes, weight: 9},
+	// Gaming.
+	{key: "roblox", cat: taxonomy.Gaming, weight: 66, appFactor: 0.5,
+		overrides: map[string]float64{"US": 1.4, "BR": 1.3, "PH": 1.4, "GB": 1.2, "KR": 0.2, "JP": 0.3}},
+	{key: "twitch", cat: taxonomy.VideoStreaming, weight: 34, appFactor: 0.65, dwell: 390,
+		overrides: map[string]float64{"US": 1.4, "DE": 1.3, "FR": 1.2, "KR": 1.2, "JP": 1.1}},
+	{key: "steampowered", cat: taxonomy.Gaming, weight: 22},
+	{key: "epicgames", cat: taxonomy.Gaming, weight: 11},
+	{key: "minecraft", cat: taxonomy.Gaming, weight: 9},
+	{key: "chess", cat: taxonomy.Gaming, weight: 8},
+	{key: "miniclip", cat: taxonomy.Gaming, weight: 6},
+	// Business / productivity platforms (Section 4.2.1: Sharepoint,
+	// Office 365 in 22/45 countries).
+	{key: "office", cat: taxonomy.Business, weight: 50, appFactor: 0.9},
+	{key: "sharepoint", cat: taxonomy.Business, weight: 33, appFactor: 0.95},
+	{key: "live", cat: taxonomy.Webmail, weight: 48, appFactor: 0.7},
+	{key: "microsoft", cat: taxonomy.Technology, weight: 42},
+	{key: "github", cat: taxonomy.Technology, weight: 19},
+	{key: "stackoverflow", cat: taxonomy.Technology, weight: 20},
+	{key: "apple", cat: taxonomy.Technology, weight: 17},
+	{key: "adobe", cat: taxonomy.Technology, weight: 12},
+	{key: "canva", cat: taxonomy.Technology, weight: 22},
+	{key: "notion", cat: taxonomy.Business, weight: 8},
+	{key: "salesforce", cat: taxonomy.Business, weight: 9},
+	{key: "docusign", cat: taxonomy.Business, weight: 5},
+	// Knowledge and education.
+	{key: "wikipedia", cat: taxonomy.Education, weight: 60, tld: "org"},
+	{key: "duolingo", cat: taxonomy.Education, weight: 9},
+	{key: "coursera", cat: taxonomy.Education, weight: 7, tld: "org"},
+	{key: "khanacademy", cat: taxonomy.Education, weight: 5, tld: "org"},
+	{key: "udemy", cat: taxonomy.Education, weight: 7},
+	{key: "quizlet", cat: taxonomy.Education, weight: 8},
+	// News with global reach.
+	{key: "bbc", cat: taxonomy.NewsMedia, weight: 16, lang: "en", tld: "co.uk",
+		overrides: map[string]float64{"GB": 4.0, "US": 0.8}},
+	{key: "cnn", cat: taxonomy.NewsMedia, weight: 12, lang: "en",
+		overrides: map[string]float64{"US": 2.2}},
+	{key: "nytimes", cat: taxonomy.NewsMedia, weight: 9, lang: "en",
+		overrides: map[string]float64{"US": 2.4}},
+	{key: "theguardian", cat: taxonomy.NewsMedia, weight: 8, lang: "en",
+		overrides: map[string]float64{"GB": 2.5, "AU": 1.5}},
+	// Audio.
+	{key: "spotify", cat: taxonomy.AudioStreaming, weight: 26, appFactor: 0.4},
+	{key: "soundcloud", cat: taxonomy.AudioStreaming, weight: 7},
+	// Finance / payments.
+	{key: "paypal", cat: taxonomy.EconomyFinance, weight: 22},
+	{key: "coinmarketcap", cat: taxonomy.EconomyFinance, weight: 8},
+	{key: "binance", cat: taxonomy.EconomyFinance, weight: 10},
+	{key: "investing", cat: taxonomy.EconomyFinance, weight: 7},
+	// Lifestyle, travel, misc.
+	{key: "booking", cat: taxonomy.Travel, weight: 15},
+	{key: "airbnb", cat: taxonomy.Travel, weight: 9},
+	{key: "tripadvisor", cat: taxonomy.Travel, weight: 8},
+	{key: "imdb", cat: taxonomy.Entertainment, weight: 11},
+	{key: "fandom", cat: taxonomy.HobbiesInterests, weight: 16},
+	{key: "quora", cat: taxonomy.Forums, weight: 11, lang: "en",
+		overrides: map[string]float64{"IN": 1.8, "US": 1.4}},
+	{key: "medium", cat: taxonomy.Technology, weight: 7},
+	{key: "weather", cat: taxonomy.Weather, weight: 11,
+		overrides: map[string]float64{"US": 2.0}},
+	{key: "accuweather", cat: taxonomy.Weather, weight: 7},
+	{key: "indeed", cat: taxonomy.JobSearch, weight: 13, multiTLD: true,
+		overrides: map[string]float64{"US": 1.8, "GB": 1.4, "CA": 1.4}},
+	{key: "glassdoor", cat: taxonomy.JobSearch, weight: 5},
+	{key: "zillow", cat: taxonomy.RealEstate, weight: 7,
+		overrides: map[string]float64{"US": 3.2, "CA": 0.4}},
+	{key: "speedtest", cat: taxonomy.Technology, weight: 6},
+	{key: "archive", cat: taxonomy.Education, weight: 5, tld: "org"},
+	{key: "deviantart", cat: taxonomy.Photography, weight: 7},
+	{key: "unsplash", cat: taxonomy.Photography, weight: 5},
+	{key: "flickr", cat: taxonomy.Photography, weight: 4},
+	{key: "bet365", cat: taxonomy.Gambling, weight: 12,
+		overrides: map[string]float64{"GB": 1.6, "BR": 1.4, "CO": 1.3, "KE": 1.3, "NG": 1.4, "US": 0.1}},
+	{key: "stake", cat: taxonomy.Gambling, weight: 6},
+	{key: "tinder", cat: taxonomy.DatingRelationships, weight: 9, appFactor: 0.5},
+	{key: "badoo", cat: taxonomy.DatingRelationships, weight: 6, appFactor: 0.6},
+	{key: "healthline", cat: taxonomy.HealthFitness, weight: 8, lang: "en"},
+	{key: "webmd", cat: taxonomy.HealthFitness, weight: 6, lang: "en",
+		overrides: map[string]float64{"US": 1.8}},
+	{key: "espn", cat: taxonomy.Sports, weight: 11, lang: "en",
+		overrides: map[string]float64{"US": 2.6, "AR": 1.2, "MX": 1.2}},
+	{key: "flashscore", cat: taxonomy.Sports, weight: 9,
+		overrides: map[string]float64{"PL": 1.5, "IT": 1.4, "NG": 1.3, "KE": 1.3}},
+	// AMP: overwhelmingly mobile (Section 4.1 footnote), top-10 on
+	// Android in at least 20 countries.
+	{key: "ampproject", cat: taxonomy.Technology, weight: 5, tld: "org", mobileBoost: 28},
+	// Wildcard-PSL coverage: a site under the Cook Islands wildcard
+	// suffix exercises the merge logic end to end.
+	{key: "kiaorana", cat: taxonomy.Travel, weight: 0.5, tld: "org.ck"},
+}

@@ -1,0 +1,112 @@
+package world
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestCalibrationHeadlineShapes verifies, directly on the expected
+// weights, that the default universe reproduces the paper's Section
+// 4.1 headline findings. The full pipeline re-derives these from
+// sampled telemetry; this test pins the generative calibration itself
+// so regressions are caught at the source.
+func TestCalibrationHeadlineShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("default universe generation is slow for -short")
+	}
+	w := Generate(DefaultConfig())
+
+	googleTop, naverTop, ytTimeTop, googleTimeTop := 0, 0, 0, 0
+	var top1Shares []float64
+	for _, c := range w.Countries() {
+		ws := w.Weights(c.Code, Windows, Feb2022)
+		sort.Slice(ws, func(i, j int) bool { return ws[i].Loads > ws[j].Loads })
+		var tot float64
+		for _, sw := range ws {
+			tot += sw.Loads
+		}
+		top1Shares = append(top1Shares, ws[0].Loads/tot)
+		switch ws[0].Site.Key {
+		case "google":
+			googleTop++
+		case "naver":
+			naverTop++
+		}
+		best, bestTime := "", 0.0
+		for _, sw := range ws {
+			if sw.Time > bestTime {
+				best, bestTime = sw.Site.Key, sw.Time
+			}
+		}
+		switch best {
+		case "youtube":
+			ytTimeTop++
+		case "google":
+			googleTimeTop++
+		}
+	}
+
+	// Paper: Google #1 by page loads in 44/45 countries; Naver tops
+	// South Korea.
+	if googleTop < 42 || naverTop != 1 {
+		t.Errorf("Google #1 in %d countries (want ≥42), Naver in %d (want 1)", googleTop, naverTop)
+	}
+	// Paper: YouTube #1 by time in 40/45; Google in the remaining 5.
+	if ytTimeTop < 36 {
+		t.Errorf("YouTube #1 by time in %d countries, want ≥36", ytTimeTop)
+	}
+	if googleTimeTop < 2 || googleTimeTop > 9 {
+		t.Errorf("Google #1 by time in %d countries, want ≈5", googleTimeTop)
+	}
+	// Paper: top site captures 12–33%% of national page loads
+	// (median 20%%).
+	sort.Float64s(top1Shares)
+	med := top1Shares[len(top1Shares)/2]
+	if med < 0.14 || med > 0.26 {
+		t.Errorf("median top-1 share = %.3f, want ≈0.20", med)
+	}
+	if top1Shares[0] < 0.08 || top1Shares[len(top1Shares)-1] > 0.37 {
+		t.Errorf("top-1 share range [%.3f, %.3f] outside paper band",
+			top1Shares[0], top1Shares[len(top1Shares)-1])
+	}
+}
+
+// TestCalibrationGlobalConcentration checks the population-weighted
+// global view: a single site ≈17% of Windows loads, six sites ≈25%.
+func TestCalibrationGlobalConcentration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("default universe generation is slow for -short")
+	}
+	w := Generate(DefaultConfig())
+	glob := map[string]float64{}
+	for _, c := range w.Countries() {
+		ws := w.Weights(c.Code, Windows, Feb2022)
+		var tot float64
+		for _, sw := range ws {
+			tot += sw.Loads
+		}
+		scale := c.WebPopulation * (1 - c.MobileShare) / tot
+		for _, sw := range ws {
+			glob[sw.Site.Key] += sw.Loads * scale
+		}
+	}
+	shares := make([]float64, 0, len(glob))
+	var tot float64
+	for _, v := range glob {
+		shares = append(shares, v)
+		tot += v
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(shares)))
+	top1 := shares[0] / tot
+	var top6 float64
+	for _, v := range shares[:6] {
+		top6 += v
+	}
+	top6 /= tot
+	if top1 < 0.13 || top1 > 0.22 {
+		t.Errorf("global top-1 share = %.3f, want ≈0.17", top1)
+	}
+	if top6 < 0.20 || top6 > 0.30 {
+		t.Errorf("global top-6 share = %.3f, want ≈0.25", top6)
+	}
+}

@@ -1,0 +1,98 @@
+package world
+
+// Config parameterises the synthetic universe. The defaults are
+// calibrated so the paper's headline shapes hold (see the calibration
+// tests in calibration_test.go and EXPERIMENTS.md).
+type Config struct {
+	// Seed drives every random choice; identical configs generate
+	// identical universes.
+	Seed uint64
+	// TailScale multiplies the per-category national site counts from
+	// the taxonomy traits. 1 ≈ 450 sites per country (fast tests), 3 ≈
+	// 1.3K (default), 10 ≈ 4.5K (large studies).
+	TailScale float64
+	// LanguageSpill is the baseline affinity a national site has in a
+	// foreign country sharing a language with its home country.
+	LanguageSpill float64
+	// RegionSpill is the baseline affinity in same-continent countries
+	// without a shared language.
+	RegionSpill float64
+	// GlobalSpill is the floor affinity everywhere else; only the very
+	// largest national sites surface abroad through it.
+	GlobalSpill float64
+	// AffinityNoiseAnchor / AffinityNoiseNational are the lognormal
+	// sigmas of per-(site,country) market noise for anchor and
+	// national sites respectively.
+	AffinityNoiseAnchor   float64
+	AffinityNoiseNational float64
+	// DriftSigma is the per-month lognormal step of each site's
+	// popularity random walk (temporal stability, Section 4.5).
+	DriftSigma float64
+	// DwellDriftSigma is the per-month drift of dwell time, letting
+	// time-on-page ranks move slightly independently of page loads.
+	DwellDriftSigma float64
+	// DwellSigma is the per-site lognormal sigma around the category
+	// dwell mean.
+	DwellSigma float64
+	// ZipfAlpha is the within-category rank decay exponent for
+	// generated national sites.
+	ZipfAlpha float64
+	// NationalScale scales generated national site weights relative to
+	// the anchor table.
+	NationalScale float64
+	// TailNoise is the lognormal sigma of generated national sites'
+	// base-weight noise.
+	TailNoise float64
+	// CandidateCutoff drops (site, country) pairs whose affinity-
+	// adjusted weight falls below this value; they could never clear
+	// the privacy threshold, so dropping them only saves work.
+	CandidateCutoff float64
+	// CensorFactor multiplies global adult sites' affinity in
+	// countries that censor adult content.
+	CensorFactor float64
+	// DisableSeasonality turns off the December category shift; used
+	// by the seasonality ablation to confirm the December anomaly is
+	// driven by the holiday model, not noise.
+	DisableSeasonality bool
+}
+
+// DefaultConfig returns the calibrated default universe.
+func DefaultConfig() Config {
+	return Config{
+		Seed:                  42,
+		TailScale:             3,
+		LanguageSpill:         0.12,
+		RegionSpill:           0.012,
+		GlobalSpill:           0.0003,
+		AffinityNoiseAnchor:   0.16,
+		AffinityNoiseNational: 0.6,
+		DriftSigma:            0.05,
+		DwellDriftSigma:       0.02,
+		DwellSigma:            0.35,
+		ZipfAlpha:             1.05,
+		NationalScale:         12,
+		TailNoise:             0.35,
+		CandidateCutoff:       0.004,
+		CensorFactor:          0.02,
+	}
+}
+
+// SmallConfig is a reduced universe for fast unit tests.
+func SmallConfig() Config {
+	c := DefaultConfig()
+	c.TailScale = 1
+	return c
+}
+
+// LargeConfig approximates the paper's 10K-deep lists per country.
+func LargeConfig() Config {
+	c := DefaultConfig()
+	c.TailScale = 10
+	return c
+}
+
+// WithSeed returns a copy of c with the seed replaced.
+func (c Config) WithSeed(seed uint64) Config {
+	c.Seed = seed
+	return c
+}

@@ -1,0 +1,140 @@
+package world
+
+import "sort"
+
+// Continent names used by Appendix A.
+const (
+	Africa       = "Africa"
+	Asia         = "Asia"
+	Europe       = "Europe"
+	NorthAmerica = "North America"
+	Oceania      = "Oceania"
+	SouthAmerica = "South America"
+)
+
+// Country describes one of the 45 study countries (Appendix A) along
+// with the attributes the world model needs: language for cross-border
+// site sharing, a web-population weight for global aggregation, the
+// registry suffix used to mint national domains, and whether the
+// country effectively censors adult content (Section 5.3.2 names South
+// Korea, Turkey, Vietnam and Russia).
+type Country struct {
+	Code      string // ISO 3166-1 alpha-2
+	Name      string
+	Continent string
+	// Languages in order of prevalence; the first is primary.
+	// Cross-country site sharing is strongest between countries with a
+	// common primary language and within a geographic region.
+	Languages []string
+	// WebPopulation is a relative weight for the size of the country's
+	// Chrome install base; it drives global (population-weighted)
+	// aggregation and privacy-threshold effects.
+	WebPopulation float64
+	// MobileShare is the fraction of the country's clients on Android;
+	// mobile-first countries have higher values.
+	MobileShare float64
+	// Suffix is the registry suffix national commercial sites use
+	// (e.g. "com.br"); government and university sites derive theirs.
+	Suffix string
+	// GovSuffix and EduSuffix mint government / university domains.
+	GovSuffix, EduSuffix string
+	// CensorsAdult marks countries whose policy keeps the three big
+	// global pornography sites out of the national top lists.
+	CensorsAdult bool
+}
+
+// countries is the Appendix A roster: 7 African, 10 Asian, 10
+// European, 7 North American, 2 Oceanian and 9 South American
+// countries. Population weights are rough relative magnitudes of
+// Chrome user bases, not census numbers.
+var countries = []Country{
+	// Africa.
+	{Code: "DZ", Name: "Algeria", Continent: Africa, Languages: []string{"ar", "fr"}, WebPopulation: 18, MobileShare: 0.72, Suffix: "dz", GovSuffix: "gov.dz", EduSuffix: "edu.dz"},
+	{Code: "EG", Name: "Egypt", Continent: Africa, Languages: []string{"ar"}, WebPopulation: 40, MobileShare: 0.75, Suffix: "com.eg", GovSuffix: "gov.eg", EduSuffix: "edu.eg"},
+	{Code: "KE", Name: "Kenya", Continent: Africa, Languages: []string{"en", "sw"}, WebPopulation: 14, MobileShare: 0.83, Suffix: "co.ke", GovSuffix: "go.ke", EduSuffix: "ac.ke"},
+	{Code: "MA", Name: "Morocco", Continent: Africa, Languages: []string{"ar", "fr"}, WebPopulation: 15, MobileShare: 0.74, Suffix: "ma", GovSuffix: "gov.ma", EduSuffix: "ac.ma"},
+	{Code: "NG", Name: "Nigeria", Continent: Africa, Languages: []string{"en"}, WebPopulation: 38, MobileShare: 0.86, Suffix: "com.ng", GovSuffix: "gov.ng", EduSuffix: "edu.ng"},
+	{Code: "TN", Name: "Tunisia", Continent: Africa, Languages: []string{"ar", "fr"}, WebPopulation: 8, MobileShare: 0.7, Suffix: "com.tn", GovSuffix: "gov.tn", EduSuffix: "com.tn"},
+	{Code: "ZA", Name: "South Africa", Continent: Africa, Languages: []string{"en"}, WebPopulation: 22, MobileShare: 0.78, Suffix: "co.za", GovSuffix: "gov.za", EduSuffix: "ac.za"},
+	// Asia.
+	{Code: "JP", Name: "Japan", Continent: Asia, Languages: []string{"ja"}, WebPopulation: 95, MobileShare: 0.52, Suffix: "co.jp", GovSuffix: "go.jp", EduSuffix: "ac.jp"},
+	{Code: "IN", Name: "India", Continent: Asia, Languages: []string{"hi", "en"}, WebPopulation: 250, MobileShare: 0.88, Suffix: "co.in", GovSuffix: "gov.in", EduSuffix: "ac.in"},
+	{Code: "KR", Name: "South Korea", Continent: Asia, Languages: []string{"ko"}, WebPopulation: 48, MobileShare: 0.55, Suffix: "co.kr", GovSuffix: "go.kr", EduSuffix: "ac.kr", CensorsAdult: true},
+	{Code: "TR", Name: "Turkey", Continent: Asia, Languages: []string{"tr"}, WebPopulation: 55, MobileShare: 0.68, Suffix: "com.tr", GovSuffix: "gov.tr", EduSuffix: "edu.tr", CensorsAdult: true},
+	{Code: "VN", Name: "Vietnam", Continent: Asia, Languages: []string{"vi"}, WebPopulation: 60, MobileShare: 0.72, Suffix: "com.vn", GovSuffix: "gov.vn", EduSuffix: "edu.vn", CensorsAdult: true},
+	{Code: "TW", Name: "Taiwan", Continent: Asia, Languages: []string{"zh-tw", "zh"}, WebPopulation: 20, MobileShare: 0.6, Suffix: "com.tw", GovSuffix: "gov.tw", EduSuffix: "edu.tw"},
+	{Code: "ID", Name: "Indonesia", Continent: Asia, Languages: []string{"id"}, WebPopulation: 120, MobileShare: 0.87, Suffix: "co.id", GovSuffix: "go.id", EduSuffix: "ac.id"},
+	{Code: "TH", Name: "Thailand", Continent: Asia, Languages: []string{"th"}, WebPopulation: 42, MobileShare: 0.76, Suffix: "co.th", GovSuffix: "go.th", EduSuffix: "ac.th"},
+	{Code: "PH", Name: "Philippines", Continent: Asia, Languages: []string{"fil", "en"}, WebPopulation: 50, MobileShare: 0.82, Suffix: "com.ph", GovSuffix: "gov.ph", EduSuffix: "edu.ph"},
+	{Code: "HK", Name: "Hong Kong", Continent: Asia, Languages: []string{"zh-hk", "zh", "en"}, WebPopulation: 7, MobileShare: 0.58, Suffix: "com.hk", GovSuffix: "gov.hk", EduSuffix: "edu.hk"},
+	// Europe.
+	{Code: "GB", Name: "United Kingdom", Continent: Europe, Languages: []string{"en"}, WebPopulation: 60, MobileShare: 0.5, Suffix: "co.uk", GovSuffix: "gov.uk", EduSuffix: "ac.uk"},
+	{Code: "FR", Name: "France", Continent: Europe, Languages: []string{"fr"}, WebPopulation: 58, MobileShare: 0.48, Suffix: "fr", GovSuffix: "gouv.fr", EduSuffix: "fr"},
+	{Code: "RU", Name: "Russia", Continent: Europe, Languages: []string{"ru"}, WebPopulation: 90, MobileShare: 0.55, Suffix: "ru", GovSuffix: "ru", EduSuffix: "ru", CensorsAdult: true},
+	{Code: "DE", Name: "Germany", Continent: Europe, Languages: []string{"de"}, WebPopulation: 70, MobileShare: 0.45, Suffix: "de", GovSuffix: "de", EduSuffix: "de"},
+	{Code: "IT", Name: "Italy", Continent: Europe, Languages: []string{"it"}, WebPopulation: 50, MobileShare: 0.52, Suffix: "it", GovSuffix: "gov.it", EduSuffix: "edu.it"},
+	{Code: "ES", Name: "Spain", Continent: Europe, Languages: []string{"es"}, WebPopulation: 44, MobileShare: 0.5, Suffix: "es", GovSuffix: "gob.es", EduSuffix: "es"},
+	{Code: "NL", Name: "Netherlands", Continent: Europe, Languages: []string{"nl"}, WebPopulation: 17, MobileShare: 0.44, Suffix: "nl", GovSuffix: "nl", EduSuffix: "nl"},
+	{Code: "PL", Name: "Poland", Continent: Europe, Languages: []string{"pl"}, WebPopulation: 36, MobileShare: 0.5, Suffix: "pl", GovSuffix: "gov.pl", EduSuffix: "edu.pl"},
+	{Code: "UA", Name: "Ukraine", Continent: Europe, Languages: []string{"uk", "ru"}, WebPopulation: 30, MobileShare: 0.55, Suffix: "com.ua", GovSuffix: "gov.ua", EduSuffix: "edu.ua"},
+	{Code: "BE", Name: "Belgium", Continent: Europe, Languages: []string{"nl", "fr"}, WebPopulation: 11, MobileShare: 0.46, Suffix: "be", GovSuffix: "be", EduSuffix: "ac.be"},
+	// North America.
+	{Code: "CA", Name: "Canada", Continent: NorthAmerica, Languages: []string{"en", "fr"}, WebPopulation: 35, MobileShare: 0.42, Suffix: "ca", GovSuffix: "gc.ca", EduSuffix: "ca"},
+	{Code: "CR", Name: "Costa Rica", Continent: NorthAmerica, Languages: []string{"es"}, WebPopulation: 5, MobileShare: 0.6, Suffix: "co.cr", GovSuffix: "go.cr", EduSuffix: "ac.cr"},
+	{Code: "DO", Name: "Dominican Republic", Continent: NorthAmerica, Languages: []string{"es"}, WebPopulation: 8, MobileShare: 0.7, Suffix: "com.do", GovSuffix: "gob.do", EduSuffix: "edu.do"},
+	{Code: "GT", Name: "Guatemala", Continent: NorthAmerica, Languages: []string{"es"}, WebPopulation: 9, MobileShare: 0.72, Suffix: "com.gt", GovSuffix: "gob.gt", EduSuffix: "edu.gt"},
+	{Code: "MX", Name: "Mexico", Continent: NorthAmerica, Languages: []string{"es"}, WebPopulation: 75, MobileShare: 0.68, Suffix: "com.mx", GovSuffix: "gob.mx", EduSuffix: "edu.mx"},
+	{Code: "PA", Name: "Panama", Continent: NorthAmerica, Languages: []string{"es"}, WebPopulation: 4, MobileShare: 0.65, Suffix: "com.pa", GovSuffix: "gob.pa", EduSuffix: "com.pa"},
+	{Code: "US", Name: "United States", Continent: NorthAmerica, Languages: []string{"en"}, WebPopulation: 230, MobileShare: 0.4, Suffix: "us", GovSuffix: "gov", EduSuffix: "edu"},
+	// Oceania.
+	{Code: "AU", Name: "Australia", Continent: Oceania, Languages: []string{"en"}, WebPopulation: 24, MobileShare: 0.44, Suffix: "com.au", GovSuffix: "gov.au", EduSuffix: "edu.au"},
+	{Code: "NZ", Name: "New Zealand", Continent: Oceania, Languages: []string{"en"}, WebPopulation: 6, MobileShare: 0.44, Suffix: "co.nz", GovSuffix: "govt.nz", EduSuffix: "ac.nz"},
+	// South America.
+	{Code: "AR", Name: "Argentina", Continent: SouthAmerica, Languages: []string{"es"}, WebPopulation: 38, MobileShare: 0.62, Suffix: "com.ar", GovSuffix: "gob.ar", EduSuffix: "edu.ar"},
+	{Code: "BO", Name: "Bolivia", Continent: SouthAmerica, Languages: []string{"es"}, WebPopulation: 6, MobileShare: 0.7, Suffix: "com.bo", GovSuffix: "gob.bo", EduSuffix: "edu.bo"},
+	{Code: "BR", Name: "Brazil", Continent: SouthAmerica, Languages: []string{"pt"}, WebPopulation: 150, MobileShare: 0.62, Suffix: "com.br", GovSuffix: "gov.br", EduSuffix: "edu.br"},
+	{Code: "CL", Name: "Chile", Continent: SouthAmerica, Languages: []string{"es"}, WebPopulation: 16, MobileShare: 0.58, Suffix: "cl", GovSuffix: "gob.cl", EduSuffix: "cl"},
+	{Code: "CO", Name: "Colombia", Continent: SouthAmerica, Languages: []string{"es"}, WebPopulation: 34, MobileShare: 0.65, Suffix: "com.co", GovSuffix: "gov.co", EduSuffix: "edu.co"},
+	{Code: "EC", Name: "Ecuador", Continent: SouthAmerica, Languages: []string{"es"}, WebPopulation: 11, MobileShare: 0.66, Suffix: "com.ec", GovSuffix: "gob.ec", EduSuffix: "edu.ec"},
+	{Code: "PE", Name: "Peru", Continent: SouthAmerica, Languages: []string{"es"}, WebPopulation: 20, MobileShare: 0.66, Suffix: "com.pe", GovSuffix: "gob.pe", EduSuffix: "edu.pe"},
+	{Code: "UY", Name: "Uruguay", Continent: SouthAmerica, Languages: []string{"es"}, WebPopulation: 4, MobileShare: 0.55, Suffix: "com.uy", GovSuffix: "gub.uy", EduSuffix: "edu.uy"},
+	{Code: "VE", Name: "Venezuela", Continent: SouthAmerica, Languages: []string{"es"}, WebPopulation: 14, MobileShare: 0.6, Suffix: "com.ve", GovSuffix: "gob.ve", EduSuffix: "com.ve"},
+}
+
+// Countries returns the 45 study countries ordered by code.
+func Countries() []Country {
+	out := make([]Country, len(countries))
+	copy(out, countries)
+	sort.Slice(out, func(i, j int) bool { return out[i].Code < out[j].Code })
+	return out
+}
+
+// CountryByCode looks up a country by its ISO code.
+func CountryByCode(code string) (Country, bool) {
+	for _, c := range countries {
+		if c.Code == code {
+			return c, true
+		}
+	}
+	return Country{}, false
+}
+
+// PrimaryLanguage returns the country's primary language.
+func (c Country) PrimaryLanguage() string {
+	if len(c.Languages) == 0 {
+		return ""
+	}
+	return c.Languages[0]
+}
+
+// SharesLanguage reports whether two countries share any language.
+func (c Country) SharesLanguage(o Country) bool {
+	for _, a := range c.Languages {
+		for _, b := range o.Languages {
+			if a == b {
+				return true
+			}
+		}
+	}
+	return false
+}

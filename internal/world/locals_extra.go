@@ -1,0 +1,126 @@
+package world
+
+import "wwb/internal/taxonomy"
+
+// localsExtra deepens the national rosters beyond the paper-named
+// giants in locals.go: second-tier portals, banks, broadcasters,
+// retailers and government services that populate the ranks the
+// paper's Table 4 long tail describes. Weights are deliberately below
+// the giants' so the calibrated heads are untouched.
+var localsExtra = []localSpec{
+	// South Korea.
+	{key: "gmarket", home: "KR", cat: taxonomy.Ecommerce, weight: 55, tld: "co.kr"},
+	{key: "eleventhstreet", home: "KR", cat: taxonomy.Ecommerce, weight: 40, tld: "co.kr"},
+	{key: "chosun", home: "KR", cat: taxonomy.NewsMedia, weight: 60, tld: "com"},
+	{key: "donga", home: "KR", cat: taxonomy.NewsMedia, weight: 45},
+	{key: "kbstar", home: "KR", cat: taxonomy.EconomyFinance, weight: 50, tld: "com", noSpill: true},
+	{key: "korailtalk", home: "KR", cat: taxonomy.Travel, weight: 25, tld: "co.kr", noSpill: true},
+	// Japan.
+	{key: "goo", home: "JP", cat: taxonomy.SearchEngines, weight: 45, tld: "ne.jp"},
+	{key: "kakaku", home: "JP", cat: taxonomy.Ecommerce, weight: 55, tld: "com"},
+	{key: "cookpad", home: "JP", cat: taxonomy.FoodDrink, weight: 40},
+	{key: "nhk", home: "JP", cat: taxonomy.Television, weight: 60, tld: "or.jp"},
+	{key: "mufg", home: "JP", cat: taxonomy.EconomyFinance, weight: 45, tld: "jp", noSpill: true},
+	{key: "atcoder", home: "JP", cat: taxonomy.Technology, weight: 15, tld: "jp"},
+	// Russia.
+	{key: "ozon", home: "RU", cat: taxonomy.Ecommerce, weight: 90, tld: "ru"},
+	{key: "wildberries", home: "RU", cat: taxonomy.Ecommerce, weight: 110, tld: "ru"},
+	{key: "rambler", home: "RU", cat: taxonomy.NewsMedia, weight: 55, tld: "ru"},
+	{key: "habr", home: "RU", cat: taxonomy.Technology, weight: 35},
+	{key: "rzd", home: "RU", cat: taxonomy.Travel, weight: 35, tld: "ru", noSpill: true},
+	// India.
+	{key: "myntra", home: "IN", cat: taxonomy.ClothingFashion, weight: 60},
+	{key: "paytm", home: "IN", cat: taxonomy.EconomyFinance, weight: 70, noSpill: true},
+	{key: "ndtv", home: "IN", cat: taxonomy.NewsMedia, weight: 65},
+	{key: "shaadi", home: "IN", cat: taxonomy.DatingRelationships, weight: 25},
+	{key: "byjus", home: "IN", cat: taxonomy.Education, weight: 35},
+	// Brazil.
+	{key: "magazineluiza", home: "BR", cat: taxonomy.Ecommerce, weight: 60, tld: "com.br"},
+	{key: "itau", home: "BR", cat: taxonomy.EconomyFinance, weight: 75, tld: "com.br", noSpill: true},
+	{key: "terra", home: "BR", cat: taxonomy.NewsMedia, weight: 55, tld: "com.br"},
+	{key: "letras", home: "BR", cat: taxonomy.Music, weight: 35, tld: "mus.br"},
+	// Mexico.
+	{key: "liverpool", home: "MX", cat: taxonomy.Ecommerce, weight: 45, tld: "com.mx"},
+	{key: "bancomer", home: "MX", cat: taxonomy.EconomyFinance, weight: 55, tld: "com", noSpill: true},
+	{key: "televisa", home: "MX", cat: taxonomy.Television, weight: 60, tld: "com"},
+	// Argentina.
+	{key: "lanacion", home: "AR", cat: taxonomy.NewsMedia, weight: 60, tld: "com.ar"},
+	{key: "ole", home: "AR", cat: taxonomy.Sports, weight: 45, tld: "com.ar"},
+	// Chile / Colombia / Peru.
+	{key: "falabella", home: "CL", cat: taxonomy.Ecommerce, weight: 55, tld: "com"},
+	{key: "biobiochile", home: "CL", cat: taxonomy.NewsMedia, weight: 40, tld: "cl"},
+	{key: "rappi", home: "CO", cat: taxonomy.FoodDrink, weight: 45, tld: "com"},
+	{key: "semana", home: "CO", cat: taxonomy.NewsMedia, weight: 40},
+	{key: "rpp", home: "PE", cat: taxonomy.NewsMedia, weight: 45, tld: "pe"},
+	// United States.
+	{key: "espnplus", home: "US", cat: taxonomy.Sports, weight: 25},
+	{key: "foxnews", home: "US", cat: taxonomy.NewsMedia, weight: 70},
+	{key: "usps", home: "US", cat: taxonomy.Business, weight: 45, tld: "com", noSpill: true},
+	{key: "irs", home: "US", cat: taxonomy.GovernmentPolitics, weight: 40, tld: "gov", noSpill: true},
+	{key: "bestbuy", home: "US", cat: taxonomy.Ecommerce, weight: 40},
+	{key: "homedepot", home: "US", cat: taxonomy.HomeGarden, weight: 45},
+	{key: "wellsfargo", home: "US", cat: taxonomy.EconomyFinance, weight: 45, noSpill: true},
+	// United Kingdom.
+	{key: "skysports", home: "GB", cat: taxonomy.Sports, weight: 55, tld: "com"},
+	{key: "argos", home: "GB", cat: taxonomy.Ecommerce, weight: 40, tld: "co.uk"},
+	{key: "nhs", home: "GB", cat: taxonomy.HealthFitness, weight: 60, tld: "uk", noSpill: true},
+	{key: "barclays", home: "GB", cat: taxonomy.EconomyFinance, weight: 40, tld: "co.uk", noSpill: true},
+	// Germany / France / Italy / Spain.
+	{key: "otto", home: "DE", cat: taxonomy.Ecommerce, weight: 45, tld: "de"},
+	{key: "chip", home: "DE", cat: taxonomy.Technology, weight: 40, tld: "de"},
+	{key: "bahn", home: "DE", cat: taxonomy.Travel, weight: 45, tld: "de", noSpill: true},
+	{key: "cdiscount", home: "FR", cat: taxonomy.Ecommerce, weight: 50, tld: "com"},
+	{key: "doctolib", home: "FR", cat: taxonomy.HealthFitness, weight: 40, tld: "fr", noSpill: true},
+	{key: "giallozafferano", home: "IT", cat: taxonomy.FoodDrink, weight: 35, tld: "it"},
+	{key: "poste", home: "IT", cat: taxonomy.Business, weight: 45, tld: "it", noSpill: true},
+	{key: "idealista", home: "ES", cat: taxonomy.RealEstate, weight: 45, tld: "com"},
+	{key: "rtve", home: "ES", cat: taxonomy.Television, weight: 40, tld: "es"},
+	// Netherlands / Belgium / Poland / Ukraine.
+	{key: "bol", home: "NL", cat: taxonomy.Ecommerce, weight: 70, tld: "com"},
+	{key: "nos", home: "NL", cat: taxonomy.NewsMedia, weight: 55, tld: "nl"},
+	{key: "vrt", home: "BE", cat: taxonomy.Television, weight: 35, tld: "be"},
+	{key: "pudelek", home: "PL", cat: taxonomy.Entertainment, weight: 35, tld: "pl"},
+	{key: "mbank", home: "PL", cat: taxonomy.EconomyFinance, weight: 40, tld: "pl", noSpill: true},
+	{key: "prom", home: "UA", cat: taxonomy.Ecommerce, weight: 45, tld: "ua"},
+	// Turkey.
+	{key: "haberturk", home: "TR", cat: taxonomy.NewsMedia, weight: 50, tld: "com"},
+	{key: "garanti", home: "TR", cat: taxonomy.EconomyFinance, weight: 40, tld: "com.tr", noSpill: true},
+	// Vietnam / Thailand / Indonesia / Philippines.
+	{key: "tiki", home: "VN", cat: taxonomy.Ecommerce, weight: 50, tld: "vn"},
+	{key: "dantri", home: "VN", cat: taxonomy.NewsMedia, weight: 55, tld: "com.vn"},
+	{key: "thairath", home: "TH", cat: taxonomy.NewsMedia, weight: 60, tld: "co.th"},
+	{key: "truemoney", home: "TH", cat: taxonomy.EconomyFinance, weight: 30, tld: "com", noSpill: true},
+	{key: "bukalapak", home: "ID", cat: taxonomy.Ecommerce, weight: 60, tld: "com"},
+	{key: "liputan6", home: "ID", cat: taxonomy.NewsMedia, weight: 50, tld: "com"},
+	{key: "inquirer", home: "PH", cat: taxonomy.NewsMedia, weight: 50, tld: "net"},
+	{key: "rappler", home: "PH", cat: taxonomy.NewsMedia, weight: 35, tld: "com"},
+	// Taiwan / Hong Kong.
+	{key: "udn", home: "TW", cat: taxonomy.NewsMedia, weight: 55, tld: "com"},
+	{key: "ettoday", home: "TW", cat: taxonomy.NewsMedia, weight: 50, tld: "net"},
+	{key: "hkgolden", home: "HK", cat: taxonomy.Forums, weight: 35, tld: "com"},
+	{key: "openrice", home: "HK", cat: taxonomy.FoodDrink, weight: 30, tld: "com"},
+	// Africa.
+	{key: "almasryalyoum", home: "EG", cat: taxonomy.NewsMedia, weight: 45, tld: "com"},
+	{key: "souq", home: "EG", cat: taxonomy.Ecommerce, weight: 40, tld: "com"},
+	{key: "avito2", home: "MA", cat: taxonomy.AuctionsMarketplace, weight: 35, tld: "ma"},
+	{key: "bet9ja", home: "NG", cat: taxonomy.Gambling, weight: 55, tld: "com"},
+	{key: "safaricom", home: "KE", cat: taxonomy.Technology, weight: 35, tld: "co.ke"},
+	{key: "sowetanlive", home: "ZA", cat: taxonomy.NewsMedia, weight: 35, tld: "co.za"},
+	{key: "tayara", home: "TN", cat: taxonomy.AuctionsMarketplace, weight: 30, tld: "tn"},
+	// Oceania.
+	{key: "woolworths", home: "AU", cat: taxonomy.Ecommerce, weight: 40, tld: "com.au"},
+	{key: "stuff", home: "NZ", cat: taxonomy.NewsMedia, weight: 55, tld: "co.nz"},
+	{key: "nzherald", home: "NZ", cat: taxonomy.NewsMedia, weight: 45, tld: "co.nz"},
+	// Canada.
+	{key: "canadiantire", home: "CA", cat: taxonomy.Ecommerce, weight: 35, tld: "ca"},
+	{key: "theweathernetwork", home: "CA", cat: taxonomy.Weather, weight: 30, tld: "com"},
+	// Smaller Latin American markets.
+	{key: "pedidosya", home: "UY", cat: taxonomy.FoodDrink, weight: 30, tld: "com"},
+	{key: "teletica", home: "CR", cat: taxonomy.Television, weight: 30, tld: "com"},
+	{key: "diariolibre", home: "DO", cat: taxonomy.NewsMedia, weight: 30, tld: "com"},
+	{key: "soy502", home: "GT", cat: taxonomy.NewsMedia, weight: 25, tld: "com"},
+	{key: "critica", home: "PA", cat: taxonomy.NewsMedia, weight: 22, tld: "com.pa"},
+	{key: "lostiempos", home: "BO", cat: taxonomy.NewsMedia, weight: 25, tld: "com"},
+	{key: "meganoticias", home: "VE", cat: taxonomy.NewsMedia, weight: 22, tld: "com"},
+	{key: "ecuavisa", home: "EC", cat: taxonomy.Television, weight: 28, tld: "com"},
+}

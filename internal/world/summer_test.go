@@ -1,0 +1,112 @@
+package world
+
+import (
+	"testing"
+
+	"wwb/internal/taxonomy"
+)
+
+func TestExtendedMonths(t *testing.T) {
+	if len(ExtendedMonths) != NumMonths {
+		t.Fatalf("extended window = %d months, want %d", len(ExtendedMonths), NumMonths)
+	}
+	if len(StudyMonths) != 6 {
+		t.Fatalf("study window = %d months", len(StudyMonths))
+	}
+	// The study window is a prefix of the extended window.
+	for i, m := range StudyMonths {
+		if ExtendedMonths[i] != m {
+			t.Fatal("study months must prefix the extended window")
+		}
+	}
+	if Jul2022.String() != "2022-07" || Aug2022.String() != "2022-08" {
+		t.Error("summer month names wrong")
+	}
+	if !Jul2022.IsSummer() || !Aug2022.IsSummer() || Jun2022.IsSummer() || Dec2021.IsSummer() {
+		t.Error("IsSummer wrong")
+	}
+}
+
+func TestSummerSeasonalityDirection(t *testing.T) {
+	w := smallWorld
+	var edu, travel *Site
+	for _, s := range w.Sites() {
+		if s.Home == "FR" && s.Category == taxonomy.EducationalInstitutions && edu == nil {
+			edu = s
+		}
+		if s.Home == "FR" && s.Category == taxonomy.Travel && travel == nil {
+			travel = s
+		}
+	}
+	if edu == nil || travel == nil {
+		t.Fatal("missing FR sites")
+	}
+	ratio := func(s *Site) float64 {
+		cand := Candidate{Site: s, Affinity: 1}
+		jun := w.Weight(cand, Windows, Jun2022).Loads / s.drift[Jun2022]
+		jul := w.Weight(cand, Windows, Jul2022).Loads / s.drift[Jul2022]
+		return jul / jun
+	}
+	if ratio(edu) >= 1 {
+		t.Errorf("education should fall in July: ratio %v", ratio(edu))
+	}
+	if ratio(travel) <= 1 {
+		t.Errorf("travel should rise in July: ratio %v", ratio(travel))
+	}
+}
+
+func TestSummerFactorDefaults(t *testing.T) {
+	if taxonomy.SummerFactorOf(taxonomy.EducationalInstitutions) >= 1 {
+		t.Error("educational institutions should drop in summer")
+	}
+	if taxonomy.SummerFactorOf(taxonomy.Travel) <= 1 {
+		t.Error("travel should rise in summer")
+	}
+	if taxonomy.SummerFactorOf(taxonomy.Pornography) != 1 {
+		t.Error("unlisted categories should be neutral in summer")
+	}
+}
+
+func TestDriftCoversExtendedWindow(t *testing.T) {
+	for _, s := range smallWorld.Sites()[:100] {
+		for m := range ExtendedMonths {
+			if s.drift[m] <= 0 || s.dwellDrift[m] <= 0 {
+				t.Fatalf("%s: non-positive drift at month %d", s.Key, m)
+			}
+		}
+	}
+}
+
+func TestExtendedWindowWeightsAvailable(t *testing.T) {
+	ws := smallWorld.Weights("US", Windows, Aug2022)
+	if len(ws) < 500 {
+		t.Fatalf("August weights missing: %d", len(ws))
+	}
+	for _, sw := range ws[:50] {
+		if sw.Loads <= 0 {
+			t.Fatal("non-positive August weight")
+		}
+	}
+}
+
+func TestDisableSeasonalityFlattensDecemberAndSummer(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.DisableSeasonality = true
+	w := Generate(cfg)
+	var shop *Site
+	for _, s := range w.Sites() {
+		if s.Home == "US" && s.Category == taxonomy.Ecommerce {
+			shop = s
+			break
+		}
+	}
+	if shop == nil {
+		t.Fatal("missing US shop")
+	}
+	cand := Candidate{Site: shop, Affinity: 1}
+	nov := w.Weight(cand, Windows, Nov2021).Loads / shop.drift[Nov2021]
+	dec := w.Weight(cand, Windows, Dec2021).Loads / shop.drift[Dec2021]
+	if nov != dec {
+		t.Errorf("seasonality disabled but December differs: %v vs %v", nov, dec)
+	}
+}

@@ -1,0 +1,108 @@
+package world
+
+import "fmt"
+
+// Platform is a Chrome client platform. The paper restricts analysis
+// to the two largest platforms (Section 3.1).
+type Platform int
+
+// Supported platforms.
+const (
+	Windows Platform = iota // desktop
+	Android                 // mobile
+)
+
+// Platforms lists the platforms in canonical order.
+var Platforms = []Platform{Windows, Android}
+
+// String implements fmt.Stringer.
+func (p Platform) String() string {
+	switch p {
+	case Windows:
+		return "Windows"
+	case Android:
+		return "Android"
+	default:
+		return fmt.Sprintf("Platform(%d)", int(p))
+	}
+}
+
+// Metric is a popularity metric. The paper analyses completed page
+// loads and time on page (initiated page loads are dropped as nearly
+// identical to completed loads).
+type Metric int
+
+// Supported metrics.
+const (
+	PageLoads Metric = iota
+	TimeOnPage
+)
+
+// Metrics lists the metrics in canonical order.
+var Metrics = []Metric{PageLoads, TimeOnPage}
+
+// String implements fmt.Stringer.
+func (m Metric) String() string {
+	switch m {
+	case PageLoads:
+		return "Page Loads"
+	case TimeOnPage:
+		return "Time on Page"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+// Month indexes the study window September 2021 – February 2022.
+type Month int
+
+// The six study months, plus the extension window the paper's
+// Section 6 flags as unmeasured ("Our measurement period does not
+// cover summer months in the northern hemisphere").
+const (
+	Sep2021 Month = iota
+	Oct2021
+	Nov2021
+	Dec2021
+	Jan2022
+	Feb2022
+	Mar2022
+	Apr2022
+	May2022
+	Jun2022
+	Jul2022
+	Aug2022
+
+	// NumMonths is the total simulated window.
+	NumMonths = 12
+)
+
+// StudyMonths lists the paper's window in order.
+var StudyMonths = []Month{Sep2021, Oct2021, Nov2021, Dec2021, Jan2022, Feb2022}
+
+// ExtendedMonths is the full simulated year including the summer the
+// paper could not measure.
+var ExtendedMonths = []Month{
+	Sep2021, Oct2021, Nov2021, Dec2021, Jan2022, Feb2022,
+	Mar2022, Apr2022, May2022, Jun2022, Jul2022, Aug2022,
+}
+
+// String implements fmt.Stringer, e.g. "2021-09".
+func (m Month) String() string {
+	names := [...]string{
+		"2021-09", "2021-10", "2021-11", "2021-12", "2022-01", "2022-02",
+		"2022-03", "2022-04", "2022-05", "2022-06", "2022-07", "2022-08",
+	}
+	if m < 0 || int(m) >= len(names) {
+		return fmt.Sprintf("Month(%d)", int(m))
+	}
+	return names[m]
+}
+
+// IsDecember reports whether m is the anomalous holiday month the
+// paper calls out in Section 4.5.
+func (m Month) IsDecember() bool { return m == Dec2021 }
+
+// IsSummer reports whether m is a northern-hemisphere summer month
+// (July/August), the paper's hypothesised second anomaly.
+func (m Month) IsSummer() bool { return m == Jul2022 || m == Aug2022 }

@@ -1,0 +1,139 @@
+// Package wwb is a full reproduction of "A World Wide View of Browsing
+// the World Wide Web" (IMC 2022): a synthetic web-browsing telemetry
+// substrate standing in for the paper's proprietary Chrome dataset,
+// the complete analysis pipeline (traffic concentration, category
+// breakdowns, platform differences, metric comparison, temporal
+// stability, endemicity scoring, and country clustering), and a
+// harness that regenerates every table and figure in the paper's
+// evaluation.
+//
+// Quick start:
+//
+//	study := wwb.New(wwb.SmallConfig().FebOnly())
+//	conc := study.Concentration(wwb.Windows, wwb.PageLoads)
+//	fmt.Printf("top site captures %.0f%% of page loads globally\n",
+//		100*conc.CumShare[1])
+//
+// The package re-exports the study vocabulary (platforms, metrics,
+// months, categories) and the per-section analysis entry points; the
+// heavy lifting lives in the internal packages described in DESIGN.md.
+package wwb
+
+import (
+	"wwb/internal/analysis"
+	"wwb/internal/catapi"
+	"wwb/internal/chrome"
+	"wwb/internal/core"
+	"wwb/internal/endemicity"
+	"wwb/internal/taxonomy"
+	"wwb/internal/telemetry"
+	"wwb/internal/world"
+)
+
+// Core study types.
+type (
+	// Config bundles every pipeline stage's configuration.
+	Config = core.Config
+	// Study is a fully assembled reproduction study.
+	Study = core.Study
+	// Dataset is the assembled Chrome-style dataset of rank lists and
+	// traffic-distribution curves.
+	Dataset = chrome.Dataset
+	// RankList is a descending rank-ordered list of sites.
+	RankList = chrome.RankList
+	// DistCurve is a global traffic-distribution curve.
+	DistCurve = chrome.DistCurve
+)
+
+// Dimension vocabulary.
+type (
+	// Platform is a browser platform (Windows or Android).
+	Platform = world.Platform
+	// Metric is a popularity metric (page loads or time on page).
+	Metric = world.Metric
+	// Month indexes the study window September 2021 – February 2022.
+	Month = world.Month
+	// Country describes one of the 45 study countries.
+	Country = world.Country
+	// Category is a website category from the study taxonomy.
+	Category = taxonomy.Category
+	// SuperCategory is one of the 22 taxonomy super-categories.
+	SuperCategory = taxonomy.SuperCategory
+)
+
+// Platforms, metrics and months.
+const (
+	Windows = world.Windows
+	Android = world.Android
+
+	PageLoads  = world.PageLoads
+	TimeOnPage = world.TimeOnPage
+
+	Sep2021 = world.Sep2021
+	Oct2021 = world.Oct2021
+	Nov2021 = world.Nov2021
+	Dec2021 = world.Dec2021
+	Jan2022 = world.Jan2022
+	Feb2022 = world.Feb2022
+)
+
+// Analysis result types.
+type (
+	// Concentration is the Section 4.1 / Figure 1 result.
+	Concentration = analysis.Concentration
+	// CategoryBreakdown is the Figure 2 result.
+	CategoryBreakdown = analysis.CategoryBreakdown
+	// PrevalencePoint is one point of Figure 3.
+	PrevalencePoint = analysis.PrevalencePoint
+	// PlatformDiff is one bar of Figure 4 / 15.
+	PlatformDiff = analysis.PlatformDiff
+	// MetricAgreement is the Section 4.4 result.
+	MetricAgreement = analysis.MetricAgreement
+	// CategoryLean is one row of Figure 5 / 16.
+	CategoryLean = analysis.CategoryLean
+	// TemporalRow is one row of the Section 4.5 stability analysis.
+	TemporalRow = analysis.TemporalRow
+	// MonthPair is a compared pair of months.
+	MonthPair = analysis.MonthPair
+	// SimilarityMatrix is the Figure 10 heatmap.
+	SimilarityMatrix = analysis.SimilarityMatrix
+	// ClusterResult is the Figure 11 / 21 outcome.
+	ClusterResult = analysis.ClusterResult
+	// EndemicityResult bundles Sections 5.1–5.2.
+	EndemicityResult = analysis.EndemicityResult
+	// BucketShare is one bucket of Figure 9 / 17.
+	BucketShare = analysis.BucketShare
+	// PairwiseIntersectionCurve is one curve of Figure 12.
+	PairwiseIntersectionCurve = analysis.PairwiseIntersectionCurve
+	// Curve is a website popularity curve (Section 5.1).
+	Curve = endemicity.Curve
+	// Validation is the categorisation-accuracy outcome (Figure 13).
+	Validation = catapi.Validation
+)
+
+// New runs the full pipeline: generate the universe, sample telemetry,
+// assemble the dataset, and prepare the categorisation workflow.
+func New(cfg Config) *Study { return core.New(cfg) }
+
+// DefaultConfig is the full-size calibrated study configuration.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// SmallConfig is a reduced study for fast experimentation.
+func SmallConfig() Config { return core.SmallConfig() }
+
+// WorldConfig/TelemetryConfig expose the substrate configurations for
+// advanced tuning.
+type (
+	WorldConfig     = world.Config
+	TelemetryConfig = telemetry.Config
+	ChromeOptions   = chrome.Options
+)
+
+// Countries returns the 45 study countries (Appendix A).
+func Countries() []Country { return world.Countries() }
+
+// StudyMonths lists the study window in order.
+func StudyMonths() []Month { return world.StudyMonths }
+
+// Categories returns every category used in the study.
+func Categories() []Category { return taxonomy.All() }

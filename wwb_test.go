@@ -1,0 +1,43 @@
+package wwb
+
+import "testing"
+
+func TestPublicVocabulary(t *testing.T) {
+	if len(Countries()) != 45 {
+		t.Errorf("Countries() = %d, want 45", len(Countries()))
+	}
+	if len(StudyMonths()) != 6 {
+		t.Errorf("StudyMonths() = %d, want 6", len(StudyMonths()))
+	}
+	if len(Categories()) != 63 {
+		t.Errorf("Categories() = %d, want 63", len(Categories()))
+	}
+	if Windows.String() != "Windows" || PageLoads.String() != "Page Loads" {
+		t.Error("re-exported constants broken")
+	}
+}
+
+func TestPublicConfigsDiffer(t *testing.T) {
+	def, small := DefaultConfig(), SmallConfig()
+	if def.World.TailScale <= small.World.TailScale {
+		t.Error("default should be larger than small")
+	}
+	feb := SmallConfig().FebOnly()
+	if len(feb.Chrome.Months) != 1 {
+		t.Error("FebOnly should restrict months")
+	}
+}
+
+func TestPublicEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline is slow for -short")
+	}
+	study := New(SmallConfig().FebOnly())
+	c := study.Concentration(Windows, PageLoads)
+	if c.MedianTop1 <= 0 || c.MedianTop1 >= 1 {
+		t.Errorf("median top-1 share = %v", c.MedianTop1)
+	}
+	if len(study.Dataset.List("US", Windows, PageLoads, Feb2022)) == 0 {
+		t.Error("dataset missing US list")
+	}
+}
