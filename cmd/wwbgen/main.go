@@ -31,6 +31,7 @@ func main() {
 		format    = flag.String("format", "json", "output format: json (lossless) or csv (rank lists only)")
 		threshold = flag.Int64("privacy-threshold", 50, "minimum unique clients per site per month")
 		topN      = flag.Int("topn", 10000, "rank list depth")
+		workers   = flag.Int("workers", 0, "assembly worker goroutines (0 = one per CPU, 1 = sequential; output is identical)")
 	)
 	flag.Parse()
 
@@ -43,6 +44,7 @@ func main() {
 	opts := chrome.DefaultOptions()
 	opts.PrivacyThreshold = *threshold
 	opts.TopN = *topN
+	opts.Workers = *workers
 	if *months == "feb" {
 		opts.Months = []world.Month{world.Feb2022}
 	} else if *months != "all" {

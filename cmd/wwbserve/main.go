@@ -42,6 +42,7 @@ func main() {
 		scale   = flag.String("scale", "small", "universe scale: small, default, or large")
 		seed    = flag.Uint64("seed", 42, "world generation seed")
 		febOnly = flag.Bool("feb-only", true, "assemble February only (faster startup)")
+		workers = flag.Int("workers", 0, "worker goroutines for assembly and analyses (0 = one per CPU, 1 = sequential; output is identical)")
 	)
 	flag.Parse()
 
@@ -56,6 +57,7 @@ func main() {
 		log.Fatalf("unknown -scale %q", *scale)
 	}
 	cfg.World.Seed = *seed
+	cfg.Workers = *workers
 	if *febOnly {
 		cfg = cfg.FebOnly()
 	}

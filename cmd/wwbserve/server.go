@@ -84,6 +84,10 @@ func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// maxListN bounds /v1/list responses; no rank list is deeper than the
+// assembly's TopN, so anything larger only invites huge allocations.
+const maxListN = 100000
+
 func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
@@ -169,10 +173,18 @@ func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if n > maxListN {
+		n = maxListN
+	}
 	list := s.ds.List(country, p, m, month)
 	if list == nil {
 		httpError(w, http.StatusNotFound, "no list for %s/%s/%s/%s", country, p, m, month)
 		return
+	}
+	// Clamp before allocating: n comes straight from the query, and a
+	// ?n=1000000000 request must not size a multi-GB slice.
+	if n > len(list) {
+		n = len(list)
 	}
 	type entry struct {
 		Rank     int     `json:"rank"`

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"wwb/internal/core"
+	"wwb/internal/world"
 )
 
 // testServer spins the handlers up once over a small February-only
@@ -71,6 +72,29 @@ func TestListEndpoint(t *testing.T) {
 	}
 	if out[0].Category != "Search Engines" {
 		t.Errorf("google.us category = %q", out[0].Category)
+	}
+}
+
+func TestListEndpointHugeNClamped(t *testing.T) {
+	// ?n=1000000000 used to size the response slice straight from the
+	// query value — a multi-GB allocation. It must now serve the whole
+	// list and nothing more.
+	resp, body := get(t, "/v1/list?country=US&platform=windows&metric=loads&n=1000000000")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out []struct {
+		Rank int `json:"rank"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	want := len(testStudyForDataset.Dataset.List("US", world.Windows, world.PageLoads, testStudyForDataset.Month))
+	if want > maxListN {
+		want = maxListN
+	}
+	if len(out) != want {
+		t.Errorf("entries = %d, want full list length %d", len(out), want)
 	}
 }
 

@@ -32,6 +32,7 @@ func main() {
 		list       = flag.Bool("list", false, "list experiment IDs and exit")
 		febOnly    = flag.Bool("feb-only", false, "assemble February only (faster; disables sec4.5)")
 		robustness = flag.Int("robustness", 0, "instead of experiments, sweep N seeds and print headline stats")
+		workers    = flag.Int("workers", 0, "worker goroutines for assembly and analyses (0 = one per CPU, 1 = sequential; output is identical)")
 	)
 	flag.Parse()
 
@@ -54,6 +55,7 @@ func main() {
 		log.Fatalf("unknown -scale %q", *scale)
 	}
 	cfg.World.Seed = *seed
+	cfg.Workers = *workers
 	if *febOnly {
 		cfg = cfg.FebOnly()
 	}

@@ -7,6 +7,7 @@ import (
 	"wwb/internal/cluster"
 	"wwb/internal/dist"
 	"wwb/internal/endemicity"
+	"wwb/internal/parallel"
 	"wwb/internal/ranklist"
 	"wwb/internal/rbo"
 	"wwb/internal/stats"
@@ -24,32 +25,34 @@ type SimilarityMatrix struct {
 // AnalyzeCountrySimilarity builds the pairwise weighted-RBO matrix for
 // one platform and metric, with rank weights drawn from the platform's
 // page-loads distribution curve (Section 5.3.1 replaces RBO's
-// geometric weights with the measured traffic distribution).
-func AnalyzeCountrySimilarity(ds *chrome.Dataset, p world.Platform, m world.Metric, month world.Month, n int) SimilarityMatrix {
+// geometric weights with the measured traffic distribution). The
+// country pairs are scored on workers goroutines (0 = one per CPU,
+// 1 = sequential); every pair lands in fixed matrix slots, so the
+// result is identical for any worker count.
+func AnalyzeCountrySimilarity(ds *chrome.Dataset, p world.Platform, m world.Metric, month world.Month, n, workers int) SimilarityMatrix {
 	curve := ds.Dist(p, world.PageLoads)
 	codes := append([]string{}, ds.Countries...)
 	sort.Strings(codes)
 
 	// Cross-country comparisons merge ccTLD variants first.
-	keys := make([][]string, len(codes))
-	for i, c := range codes {
-		list := ds.List(c, p, m, month).TopN(n)
-		ks := ranklist.MergedKeys(list)
-		keys[i] = ks
-	}
+	keys := parallel.Map(workers, len(codes), func(i int) []string {
+		return ranklist.MergedKeys(ds.List(codes[i], p, m, month).TopN(n))
+	})
 	sim := make([][]float64, len(codes))
 	for i := range sim {
 		sim[i] = make([]float64, len(codes))
 		sim[i][i] = 1
 	}
 	weight := curve.WeightAt
-	for i := 0; i < len(codes); i++ {
+	// Row i fills sim[i][j] and sim[j][i] for j > i only, so rows
+	// write disjoint cells and can run concurrently.
+	parallel.ForEach(workers, len(codes), func(i int) {
 		for j := i + 1; j < len(codes); j++ {
 			v := rbo.Weighted(keys[i], keys[j], weight)
 			sim[i][j] = v
 			sim[j][i] = v
 		}
-	}
+	})
 	return SimilarityMatrix{Countries: codes, Sim: sim}
 }
 
@@ -122,16 +125,18 @@ type EndemicityResult struct {
 const EntryBar = 1000
 
 // AnalyzeEndemicity runs the popularity-curve pipeline for one
-// platform and metric.
-func AnalyzeEndemicity(ds *chrome.Dataset, categorize dist.Categorize, p world.Platform, m world.Metric, month world.Month) EndemicityResult {
+// platform and metric. The per-country rank maps and the per-site
+// popularity curves are built on workers goroutines (0 = one per CPU,
+// 1 = sequential); both fan-outs write index-addressed slots, so the
+// result is identical for any worker count.
+func AnalyzeEndemicity(ds *chrome.Dataset, categorize dist.Categorize, p world.Platform, m world.Metric, month world.Month, workers int) EndemicityResult {
 	codes := append([]string{}, ds.Countries...)
 	sort.Strings(codes)
 
 	// Merged-key rank per country.
-	perCountry := make([]map[string]int, len(codes))
-	for i, c := range codes {
-		perCountry[i] = ranklist.KeyRanks(ds.List(c, p, m, month))
-	}
+	perCountry := parallel.Map(workers, len(codes), func(i int) map[string]int {
+		return ranklist.KeyRanks(ds.List(codes[i], p, m, month))
+	})
 
 	// Sites qualifying via the entry bar, and a representative domain
 	// for categorisation (the best-ranked domain observed).
@@ -162,17 +167,22 @@ func AnalyzeEndemicity(ds *chrome.Dataset, categorize dist.Categorize, p world.P
 		ShapeCounts:         map[endemicity.Shape]int{},
 		CategoryLabelCounts: map[taxonomy.Category]map[endemicity.Label]int{},
 	}
-	soloCount := 0
-	for _, key := range keys {
+	// Curves are independent per site; shapes are classified in the
+	// same fan-out. The shared tallies are folded sequentially below.
+	res.Curves = make([]endemicity.Curve, len(keys))
+	shapes := parallel.Map(workers, len(keys), func(k int) endemicity.Shape {
 		ranks := map[string]int{}
 		for i, c := range codes {
-			if r, ok := perCountry[i][key]; ok {
+			if r, ok := perCountry[i][keys[k]]; ok {
 				ranks[c] = r
 			}
 		}
-		curve := endemicity.BuildCurve(key, ranks, codes)
-		res.Curves = append(res.Curves, curve)
-		res.ShapeCounts[endemicity.ClassifyShape(curve)]++
+		res.Curves[k] = endemicity.BuildCurve(keys[k], ranks, codes)
+		return endemicity.ClassifyShape(res.Curves[k])
+	})
+	soloCount := 0
+	for k, curve := range res.Curves {
+		res.ShapeCounts[shapes[k]]++
 		if curve.PresentIn() <= 1 {
 			soloCount++
 		}
@@ -268,29 +278,36 @@ type PairwiseIntersectionCurve struct {
 }
 
 // AnalyzePairwiseIntersections computes Figure 12 for the given rank
-// buckets.
-func AnalyzePairwiseIntersections(ds *chrome.Dataset, p world.Platform, m world.Metric, month world.Month, buckets []int) []PairwiseIntersectionCurve {
+// buckets. Country-pair rows are scored on workers goroutines (0 =
+// one per CPU, 1 = sequential) and concatenated in row order, so the
+// per-pair value sequence — and hence the float sums behind Mean —
+// matches the sequential double loop exactly.
+func AnalyzePairwiseIntersections(ds *chrome.Dataset, p world.Platform, m world.Metric, month world.Month, buckets []int, workers int) []PairwiseIntersectionCurve {
 	codes := append([]string{}, ds.Countries...)
 	sort.Strings(codes)
-	lists := make([][]string, len(codes))
-	for i, c := range codes {
-		lists[i] = ranklist.MergedKeys(ds.List(c, p, m, month))
-	}
+	lists := parallel.Map(workers, len(codes), func(i int) []string {
+		return ranklist.MergedKeys(ds.List(codes[i], p, m, month))
+	})
 	var out []PairwiseIntersectionCurve
 	for _, bucket := range buckets {
-		var vals []float64
-		for i := 0; i < len(codes); i++ {
+		rows := parallel.Map(workers, len(codes), func(i int) []float64 {
 			a := lists[i]
 			if len(a) > bucket {
 				a = a[:bucket]
 			}
+			row := make([]float64, 0, len(codes)-i-1)
 			for j := i + 1; j < len(codes); j++ {
 				b := lists[j]
 				if len(b) > bucket {
 					b = b[:bucket]
 				}
-				vals = append(vals, stats.PercentIntersection(a, b))
+				row = append(row, stats.PercentIntersection(a, b))
 			}
+			return row
+		})
+		var vals []float64
+		for _, row := range rows {
+			vals = append(vals, row...)
 		}
 		out = append(out, PairwiseIntersectionCurve{
 			Bucket:     bucket,

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 
+	"wwb/internal/parallel"
 	"wwb/internal/psl"
 	"wwb/internal/telemetry"
 	"wwb/internal/world"
@@ -72,7 +73,15 @@ type Options struct {
 	// Seed drives the sampling streams; independent of the world seed.
 	Seed uint64
 	// Months restricts assembly; nil means the full study window.
+	// DistMonth is always assembled: a restriction that omits it is
+	// extended, since the distribution curves cannot be built without
+	// that month's telemetry.
 	Months []world.Month
+	// Workers bounds the goroutines sampling cells concurrently:
+	// 0 (the default) means one per CPU, 1 is the sequential path.
+	// Output is byte-identical for every value. Excluded from the
+	// serialised dataset — it describes the machine, not the data.
+	Workers int `json:"-"`
 }
 
 // DefaultOptions mirrors the paper's setup.
@@ -125,12 +134,53 @@ func (d *Dataset) Dist(p world.Platform, m world.Metric) *DistCurve {
 	return d.dist[distKey(p, m)]
 }
 
-// Assemble samples telemetry for every cell and builds the dataset.
-func Assemble(w *world.World, tcfg telemetry.Config, opts Options) *Dataset {
-	months := opts.Months
-	if len(months) == 0 {
-		months = world.StudyMonths
+// assembledMonths resolves the months a dataset covers: the full study
+// window when unrestricted, otherwise the requested months extended
+// with DistMonth — without that month's telemetry the distribution
+// curves would silently come out empty.
+func assembledMonths(opts Options) []world.Month {
+	if len(opts.Months) == 0 {
+		return world.StudyMonths
 	}
+	months := append([]world.Month{}, opts.Months...)
+	for _, m := range months {
+		if m == opts.DistMonth {
+			return months
+		}
+	}
+	return append(months, opts.DistMonth)
+}
+
+// cellJob identifies one (country, platform, month) sampling cell.
+type cellJob struct {
+	country  string
+	platform world.Platform
+	month    world.Month
+}
+
+// distSample is one site's contribution to the global distribution
+// accumulators, with the merged site key precomputed in the worker.
+type distSample struct {
+	key           string
+	loads, timeMS float64
+}
+
+// cellResult is everything one cell contributes to the dataset.
+type cellResult struct {
+	byLoads, byTime   RankList
+	covLoads, covTime float64
+	hasLoads, hasTime bool
+	dist              []distSample // nil unless the cell's month is DistMonth
+}
+
+// Assemble samples telemetry for every cell and builds the dataset.
+// Cells are sampled on opts.Workers goroutines (each cell forks an
+// independent RNG stream keyed by its identity, so sampling order is
+// irrelevant) and merged in canonical cell order on the calling
+// goroutine; the assembled dataset is byte-identical for every worker
+// count.
+func Assemble(w *world.World, tcfg telemetry.Config, opts Options) *Dataset {
+	months := assembledMonths(opts)
 	ds := &Dataset{
 		Opts:     opts,
 		Months:   months,
@@ -140,33 +190,52 @@ func Assemble(w *world.World, tcfg telemetry.Config, opts Options) *Dataset {
 	}
 	root := world.NewRNG(opts.Seed)
 
-	// Global per-site accumulators for the distribution curves,
-	// aggregated by merged site key across countries (sub-threshold
-	// sites included).
+	jobs := make([]cellJob, 0, len(w.Countries())*len(world.Platforms)*len(months))
+	for _, c := range w.Countries() {
+		ds.Countries = append(ds.Countries, c.Code)
+		for _, p := range world.Platforms {
+			for _, month := range months {
+				jobs = append(jobs, cellJob{country: c.Code, platform: p, month: month})
+			}
+		}
+	}
+
+	// Fan out: sample, threshold, and rank each cell independently.
+	// Fork does not mutate the parent stream, so sharing root across
+	// workers is race-free.
+	results := parallel.Map(opts.Workers, len(jobs), func(i int) cellResult {
+		j := jobs[i]
+		rng := root.Fork("cell|" + j.country + "|" + j.platform.String() + "|" + j.month.String())
+		stats := telemetry.SampleCell(rng, w, tcfg, telemetry.Cell{
+			Country: j.country, Platform: j.platform, Month: j.month,
+		})
+		return buildCell(opts, j, stats)
+	})
+
+	// Fan in, in canonical cell order. The global distribution
+	// accumulators are summed one site at a time in exactly the order
+	// the sequential loop used, because float addition is not
+	// associative: per-worker shards reduced at the end would drift in
+	// the last bits and break byte-identical encoding.
 	globLoads := map[world.Platform]map[string]float64{
 		world.Windows: {}, world.Android: {},
 	}
 	globTime := map[world.Platform]map[string]float64{
 		world.Windows: {}, world.Android: {},
 	}
-
-	for _, c := range w.Countries() {
-		ds.Countries = append(ds.Countries, c.Code)
-		for _, p := range world.Platforms {
-			for _, month := range months {
-				cell := telemetry.Cell{Country: c.Code, Platform: p, Month: month}
-				rng := root.Fork("cell|" + c.Code + "|" + p.String() + "|" + month.String())
-				stats := telemetry.SampleCell(rng, w, tcfg, cell)
-
-				if month == opts.DistMonth {
-					for _, s := range stats {
-						key := psl.Default.SiteKey(s.Domain)
-						globLoads[p][key] += float64(s.Loads)
-						globTime[p][key] += float64(s.TimeMS)
-					}
-				}
-				ds.addLists(c.Code, p, month, stats)
-			}
+	for i, res := range results {
+		j := jobs[i]
+		for _, s := range res.dist {
+			globLoads[j.platform][s.key] += s.loads
+			globTime[j.platform][s.key] += s.timeMS
+		}
+		ds.lists[listKey(j.country, j.platform, world.PageLoads, j.month)] = res.byLoads
+		ds.lists[listKey(j.country, j.platform, world.TimeOnPage, j.month)] = res.byTime
+		if res.hasLoads {
+			ds.coverage[listKey(j.country, j.platform, world.PageLoads, j.month)] = res.covLoads
+		}
+		if res.hasTime {
+			ds.coverage[listKey(j.country, j.platform, world.TimeOnPage, j.month)] = res.covTime
 		}
 	}
 
@@ -177,14 +246,14 @@ func Assemble(w *world.World, tcfg telemetry.Config, opts Options) *Dataset {
 	return ds
 }
 
-// addLists thresholds and ranks one cell's stats for both metrics.
-func (ds *Dataset) addLists(country string, p world.Platform, month world.Month, stats []telemetry.SiteStats) {
+// buildCell thresholds and ranks one cell's stats for both metrics.
+func buildCell(opts Options, j cellJob, stats []telemetry.SiteStats) cellResult {
 	var totLoads, totTime float64
 	kept := make([]telemetry.SiteStats, 0, len(stats))
 	for _, s := range stats {
 		totLoads += float64(s.Loads)
 		totTime += float64(s.TimeMS)
-		if s.Clients >= ds.Opts.PrivacyThreshold {
+		if s.Clients >= opts.PrivacyThreshold {
 			kept = append(kept, s)
 		}
 	}
@@ -197,17 +266,28 @@ func (ds *Dataset) addLists(country string, p world.Platform, month world.Month,
 	}
 	sortList(byLoads)
 	sortList(byTime)
-	byLoads = byLoads.TopN(ds.Opts.TopN)
-	byTime = byTime.TopN(ds.Opts.TopN)
 
-	ds.lists[listKey(country, p, world.PageLoads, month)] = byLoads
-	ds.lists[listKey(country, p, world.TimeOnPage, month)] = byTime
+	res := cellResult{
+		byLoads: byLoads.TopN(opts.TopN),
+		byTime:  byTime.TopN(opts.TopN),
+	}
 	if totLoads > 0 {
-		ds.coverage[listKey(country, p, world.PageLoads, month)] = sumValues(byLoads) / totLoads
+		res.covLoads, res.hasLoads = sumValues(res.byLoads)/totLoads, true
 	}
 	if totTime > 0 {
-		ds.coverage[listKey(country, p, world.TimeOnPage, month)] = sumValues(byTime) / totTime
+		res.covTime, res.hasTime = sumValues(res.byTime)/totTime, true
 	}
+	if j.month == opts.DistMonth {
+		res.dist = make([]distSample, len(stats))
+		for i, s := range stats {
+			res.dist[i] = distSample{
+				key:    psl.Default.SiteKey(s.Domain),
+				loads:  float64(s.Loads),
+				timeMS: float64(s.TimeMS),
+			}
+		}
+	}
+	return res
 }
 
 func sortList(l RankList) {

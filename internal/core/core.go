@@ -27,6 +27,10 @@ type Config struct {
 	// SamplesPerCategory is the validation sample size (the paper
 	// manually checks ten random sites per category).
 	SamplesPerCategory int
+	// Workers bounds the goroutines used by dataset assembly and the
+	// parallel analyses: 0 (the default) means one per CPU, 1 forces
+	// the sequential path. Results are identical for every value.
+	Workers int
 }
 
 // DefaultConfig is the full-size calibrated study.
@@ -68,11 +72,14 @@ type Study struct {
 	Month world.Month
 
 	mu    sync.Mutex
-	cache map[string]any
+	cache map[string]*memoEntry
 }
 
 // New runs the pipeline end to end.
 func New(cfg Config) *Study {
+	if cfg.Chrome.Workers == 0 {
+		cfg.Chrome.Workers = cfg.Workers
+	}
 	w := world.Generate(cfg.World)
 	ds := chrome.Assemble(w, cfg.Telemetry, cfg.Chrome)
 	svc := catapi.NewService(w, cfg.CatAPI)
@@ -110,7 +117,7 @@ func New(cfg Config) *Study {
 		Validation:  validation,
 		Categorizer: catapi.NewCategorizer(svc, validation, verified),
 		Month:       month,
-		cache:       map[string]any{},
+		cache:       map[string]*memoEntry{},
 	}
 }
 
@@ -119,22 +126,31 @@ func (s *Study) Categorize(domain string) taxonomy.Category {
 	return s.Categorizer.Category(domain)
 }
 
-// memo caches an analysis result under a key. The lock is not held
-// while computing: analyses may depend on other memoized analyses, and
-// recomputing a result on a rare race is harmless because analyses are
-// deterministic.
+// memoEntry is one single-flight cache slot: the Once admits exactly
+// one compute per key, and every other caller blocks on it and reads
+// the finished value.
+type memoEntry struct {
+	once sync.Once
+	val  any
+}
+
+// memo caches an analysis result under a key with per-key
+// single-flight: N concurrent requests for an uncached analysis run
+// one compute, not N (the study is served concurrently, and analyses
+// like CountrySimilarity are too expensive to thunder-herd). The study
+// lock guards only the key→entry map, so computes for different keys —
+// including analyses that depend on other memoized analyses — still
+// run freely in parallel.
 func memo[T any](s *Study, key string, compute func() T) T {
 	s.mu.Lock()
-	if v, ok := s.cache[key]; ok {
-		s.mu.Unlock()
-		return v.(T)
+	e := s.cache[key]
+	if e == nil {
+		e = new(memoEntry)
+		s.cache[key] = e
 	}
 	s.mu.Unlock()
-	v := compute()
-	s.mu.Lock()
-	s.cache[key] = v
-	s.mu.Unlock()
-	return v
+	e.once.Do(func() { e.val = compute() })
+	return e.val.(T)
 }
 
 // Concentration runs the Section 4.1 analysis (Figure 1).
@@ -203,7 +219,7 @@ func (s *Study) CategoryDrift(p world.Platform, m world.Metric, n int) map[world
 func (s *Study) CountrySimilarity(p world.Platform, m world.Metric) analysis.SimilarityMatrix {
 	key := "sim|" + p.String() + m.String()
 	return memo(s, key, func() analysis.SimilarityMatrix {
-		return analysis.AnalyzeCountrySimilarity(s.Dataset, p, m, s.Month, s.Cfg.Chrome.TopN)
+		return analysis.AnalyzeCountrySimilarity(s.Dataset, p, m, s.Month, s.Cfg.Chrome.TopN, s.Cfg.Workers)
 	})
 }
 
@@ -219,7 +235,7 @@ func (s *Study) CountryClusters(p world.Platform, m world.Metric) analysis.Clust
 func (s *Study) Endemicity(p world.Platform, m world.Metric) analysis.EndemicityResult {
 	key := "endem|" + p.String() + m.String()
 	return memo(s, key, func() analysis.EndemicityResult {
-		return analysis.AnalyzeEndemicity(s.Dataset, s.Categorize, p, m, s.Month)
+		return analysis.AnalyzeEndemicity(s.Dataset, s.Categorize, p, m, s.Month, s.Cfg.Workers)
 	})
 }
 
@@ -233,5 +249,5 @@ func (s *Study) GlobalShareByBucket(p world.Platform, m world.Metric) []analysis
 
 // PairwiseIntersections runs Figure 12.
 func (s *Study) PairwiseIntersections(p world.Platform, m world.Metric, buckets []int) []analysis.PairwiseIntersectionCurve {
-	return analysis.AnalyzePairwiseIntersections(s.Dataset, p, m, s.Month, buckets)
+	return analysis.AnalyzePairwiseIntersections(s.Dataset, p, m, s.Month, buckets, s.Cfg.Workers)
 }

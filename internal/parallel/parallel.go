@@ -1,0 +1,97 @@
+// Package parallel provides a bounded worker pool with deterministic
+// ordered fan-out/fan-in, in the spirit of errgroup. Work items are
+// indexed, workers pull indices from a shared atomic counter (so
+// uneven items balance automatically), and results land in
+// index-order slots — the output is byte-for-byte independent of
+// scheduling. A worker count of 1 runs inline on the caller's
+// goroutine, preserving an exactly-sequential execution path.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count knob: values >= 1 are used as-is,
+// anything else (0, negative) means "one worker per available CPU"
+// via runtime.GOMAXPROCS(0).
+func Workers(n int) int {
+	if n >= 1 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers
+// goroutines (0 or negative workers = GOMAXPROCS). It returns after
+// every call has finished. fn must confine its writes to locations
+// disjoint per index (e.g. out[i]); under that contract the overall
+// effect is identical to the sequential loop regardless of worker
+// count or scheduling.
+//
+// If any fn panics, ForEach waits for the remaining work to finish
+// and then re-panics on the calling goroutine with the first
+// recovered value and its worker stack trace.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+
+	var (
+		next      atomic.Int64
+		wg        sync.WaitGroup
+		panicOnce sync.Once
+		panicked  error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							stack := debug.Stack()
+							panicOnce.Do(func() {
+								panicked = fmt.Errorf("parallel: worker panic on item %d: %v\n%s", i, r, stack)
+							})
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// Map runs fn over every index in [0, n) with at most workers
+// concurrent goroutines and returns the results in index order. The
+// output slice is identical for any worker count.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(workers, n, func(i int) {
+		out[i] = fn(i)
+	})
+	return out
+}

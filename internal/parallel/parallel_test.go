@@ -1,0 +1,95 @@
+package parallel
+
+import (
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(4); got != 4 {
+		t.Errorf("Workers(4) = %d", got)
+	}
+	if got := Workers(1); got != 1 {
+		t.Errorf("Workers(1) = %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	if got := Workers(0); got != want {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, want)
+	}
+	if got := Workers(-3); got != want {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, want)
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		const n = 1000
+		counts := make([]atomic.Int32, n)
+		ForEach(workers, n, func(i int) {
+			counts[i].Add(1)
+		})
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachZeroAndNegativeN(t *testing.T) {
+	ran := false
+	ForEach(4, 0, func(int) { ran = true })
+	ForEach(4, -5, func(int) { ran = true })
+	if ran {
+		t.Error("fn ran for non-positive n")
+	}
+}
+
+func TestMapOrderIndependentOfWorkers(t *testing.T) {
+	const n = 500
+	want := Map(1, n, func(i int) int { return i * i })
+	for _, workers := range []int{2, 8, 0} {
+		got := Map(workers, n, func(i int) int { return i * i })
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestForEachPropagatesPanic(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic did not propagate")
+		}
+		msg, ok := r.(error)
+		if !ok || !strings.Contains(msg.Error(), "boom") {
+			t.Fatalf("unexpected panic payload: %v", r)
+		}
+	}()
+	ForEach(4, 100, func(i int) {
+		if i == 37 {
+			panic("boom")
+		}
+	})
+}
+
+func TestForEachPanicStillCompletesOtherItems(t *testing.T) {
+	var done atomic.Int32
+	func() {
+		defer func() { _ = recover() }()
+		ForEach(4, 100, func(i int) {
+			if i == 3 {
+				panic("boom")
+			}
+			done.Add(1)
+		})
+	}()
+	if got := done.Load(); got != 99 {
+		t.Errorf("completed items = %d, want 99", got)
+	}
+}
