@@ -8,12 +8,14 @@ package wwb
 // reproduction log compared in EXPERIMENTS.md.
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 	"testing"
 
 	"wwb/internal/analysis"
 	"wwb/internal/catapi"
+	"wwb/internal/chrome"
 	"wwb/internal/cluster"
 	"wwb/internal/core"
 	"wwb/internal/endemicity"
@@ -320,6 +322,42 @@ func BenchmarkSubstrateWeightedRBO10K(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = rbo.Weighted(a, c, curve.WeightAt)
+	}
+}
+
+func BenchmarkSubstrateWeightedRBOIDs10K(b *testing.B) {
+	// The interned counterpart of BenchmarkSubstrateWeightedRBO10K:
+	// same country pair, same weights, dense IDs plus reused scratch.
+	s := study(b)
+	ds := s.Dataset
+	ix := ds.Index()
+	curve := ds.Dist(world.Windows, world.PageLoads)
+	a := ix.MergedIDsTopN("US", world.Windows, world.PageLoads, s.Month, 10000)
+	c := ix.MergedIDsTopN("GB", world.Windows, world.PageLoads, s.Month, 10000)
+	scr := rbo.NewScratch(ix.NumKeys())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = rbo.WeightedIDs(a, c, curve.WeightAt, scr)
+	}
+}
+
+func BenchmarkSubstrateDatasetIndexBuild(b *testing.B) {
+	// One-time interning cost over the full default-scale dataset: the
+	// price paid to make every later geography analysis ID-based.
+	s := study(b)
+	var enc bytes.Buffer
+	if err := s.Dataset.Encode(&enc); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ds, err := chrome.Decode(bytes.NewReader(enc.Bytes()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		_ = ds.Index()
 	}
 }
 

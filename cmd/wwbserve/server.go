@@ -15,7 +15,6 @@ import (
 	"wwb/internal/endemicity"
 	"wwb/internal/experiments"
 	"wwb/internal/psl"
-	"wwb/internal/ranklist"
 	"wwb/internal/world"
 )
 
@@ -252,10 +251,12 @@ func (s *server) handleSite(w http.ResponseWriter, r *http.Request) {
 	key := psl.Default.SiteKey(domain)
 	ranks := map[string]int{}
 	codes := s.ds.Countries
-	for _, c := range codes {
-		kr := ranklist.KeyRanks(s.ds.List(c, world.Windows, world.PageLoads, s.month))
-		if rank, ok := kr[key]; ok {
-			ranks[c] = rank
+	ix := s.ds.Index()
+	if id, ok := ix.ID(key); ok {
+		for _, c := range codes {
+			if rank := ix.Rank(c, world.Windows, world.PageLoads, s.month, id); rank > 0 {
+				ranks[c] = rank
+			}
 		}
 	}
 	curve := endemicity.BuildCurve(key, ranks, codes)

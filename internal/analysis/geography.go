@@ -2,13 +2,14 @@ package analysis
 
 import (
 	"sort"
+	"sync"
 
 	"wwb/internal/chrome"
 	"wwb/internal/cluster"
 	"wwb/internal/dist"
 	"wwb/internal/endemicity"
+	"wwb/internal/keyset"
 	"wwb/internal/parallel"
-	"wwb/internal/ranklist"
 	"wwb/internal/rbo"
 	"wwb/internal/stats"
 	"wwb/internal/taxonomy"
@@ -29,14 +30,21 @@ type SimilarityMatrix struct {
 // country pairs are scored on workers goroutines (0 = one per CPU,
 // 1 = sequential); every pair lands in fixed matrix slots, so the
 // result is identical for any worker count.
+//
+// The kernel runs on the dataset's interned key IDs: each country's
+// merged top-N key list comes precomputed from the index, and the
+// ~n²/2 weighted-RBO calls reuse per-worker epoch-stamped scratch
+// buffers instead of hashing strings into two fresh maps per pair.
+// Results are bit-identical to the historical string-keyed path.
 func AnalyzeCountrySimilarity(ds *chrome.Dataset, p world.Platform, m world.Metric, month world.Month, n, workers int) SimilarityMatrix {
 	curve := ds.Dist(p, world.PageLoads)
 	codes := append([]string{}, ds.Countries...)
 	sort.Strings(codes)
+	ix := ds.Index()
 
 	// Cross-country comparisons merge ccTLD variants first.
-	keys := parallel.Map(workers, len(codes), func(i int) []string {
-		return ranklist.MergedKeys(ds.List(codes[i], p, m, month).TopN(n))
+	keys := parallel.Map(workers, len(codes), func(i int) []chrome.KeyID {
+		return ix.MergedIDsTopN(codes[i], p, m, month, n)
 	})
 	sim := make([][]float64, len(codes))
 	for i := range sim {
@@ -44,11 +52,14 @@ func AnalyzeCountrySimilarity(ds *chrome.Dataset, p world.Platform, m world.Metr
 		sim[i][i] = 1
 	}
 	weight := curve.WeightAt
+	scratch := sync.Pool{New: func() any { return rbo.NewScratch(ix.NumKeys()) }}
 	// Row i fills sim[i][j] and sim[j][i] for j > i only, so rows
 	// write disjoint cells and can run concurrently.
 	parallel.ForEach(workers, len(codes), func(i int) {
+		scr := scratch.Get().(*rbo.Scratch)
+		defer scratch.Put(scr)
 		for j := i + 1; j < len(codes); j++ {
-			v := rbo.Weighted(keys[i], keys[j], weight)
+			v := rbo.WeightedIDs(keys[i], keys[j], weight, scr)
 			sim[i][j] = v
 			sim[j][i] = v
 		}
@@ -132,36 +143,51 @@ const EntryBar = 1000
 func AnalyzeEndemicity(ds *chrome.Dataset, categorize dist.Categorize, p world.Platform, m world.Metric, month world.Month, workers int) EndemicityResult {
 	codes := append([]string{}, ds.Countries...)
 	sort.Strings(codes)
+	ix := ds.Index()
+	nk := ix.NumKeys()
 
-	// Merged-key rank per country.
-	perCountry := parallel.Map(workers, len(codes), func(i int) map[string]int {
-		return ranklist.KeyRanks(ds.List(codes[i], p, m, month))
+	// Merged-key rank per country, as dense rank-by-KeyID arrays
+	// (0 = absent). The index already holds each cell's deduped keys
+	// with first occurrences, so no string is parsed or hashed here.
+	perCountry := parallel.Map(workers, len(codes), func(i int) []int32 {
+		ranks := make([]int32, nk)
+		ids, firstPos := ix.KeyRankIDs(codes[i], p, m, month)
+		for k, id := range ids {
+			ranks[id] = firstPos[k] + 1
+		}
+		return ranks
 	})
 
 	// Sites qualifying via the entry bar, and a representative domain
-	// for categorisation (the best-ranked domain observed).
-	qualifies := map[string]bool{}
-	repDomain := map[string]string{}
-	repRank := map[string]int{}
-	for i, c := range codes {
-		_ = c
-		for j, e := range ds.List(codes[i], p, m, month) {
-			key := pslKey(e.Domain)
-			if j < EntryBar {
-				qualifies[key] = true
+	// for categorisation (the best-ranked domain observed). Only a
+	// key's first occurrence in a list can qualify it or improve its
+	// representative rank, so the deduped index view suffices.
+	qualifies := make([]bool, nk)
+	repRank := make([]int32, nk)
+	repDomain := make([]string, nk)
+	for i := range codes {
+		list := ds.List(codes[i], p, m, month)
+		ids, firstPos := ix.KeyRankIDs(codes[i], p, m, month)
+		for k, id := range ids {
+			pos := firstPos[k]
+			if int(pos) < EntryBar {
+				qualifies[id] = true
 			}
-			if r, ok := repRank[key]; !ok || j+1 < r {
-				repRank[key] = j + 1
-				repDomain[key] = e.Domain
+			if repRank[id] == 0 || pos+1 < repRank[id] {
+				repRank[id] = pos + 1
+				repDomain[id] = list[pos].Domain
 			}
 		}
 	}
 
-	keys := make([]string, 0, len(qualifies))
-	for k := range qualifies {
-		keys = append(keys, k)
+	// Ascending KeyID order is lexicographic key order by construction,
+	// matching the sorted-keys iteration of the string path.
+	keyIDs := make([]chrome.KeyID, 0, len(qualifies))
+	for id, q := range qualifies {
+		if q {
+			keyIDs = append(keyIDs, chrome.KeyID(id))
+		}
 	}
-	sort.Strings(keys)
 
 	res := EndemicityResult{
 		ShapeCounts:         map[endemicity.Shape]int{},
@@ -169,15 +195,16 @@ func AnalyzeEndemicity(ds *chrome.Dataset, categorize dist.Categorize, p world.P
 	}
 	// Curves are independent per site; shapes are classified in the
 	// same fan-out. The shared tallies are folded sequentially below.
-	res.Curves = make([]endemicity.Curve, len(keys))
-	shapes := parallel.Map(workers, len(keys), func(k int) endemicity.Shape {
+	res.Curves = make([]endemicity.Curve, len(keyIDs))
+	shapes := parallel.Map(workers, len(keyIDs), func(k int) endemicity.Shape {
+		id := keyIDs[k]
 		ranks := map[string]int{}
 		for i, c := range codes {
-			if r, ok := perCountry[i][keys[k]]; ok {
-				ranks[c] = r
+			if r := perCountry[i][id]; r != 0 {
+				ranks[c] = int(r)
 			}
 		}
-		res.Curves[k] = endemicity.BuildCurve(keys[k], ranks, codes)
+		res.Curves[k] = endemicity.BuildCurve(ix.Key(id), ranks, codes)
 		return endemicity.ClassifyShape(res.Curves[k])
 	})
 	soloCount := 0
@@ -187,18 +214,18 @@ func AnalyzeEndemicity(ds *chrome.Dataset, categorize dist.Categorize, p world.P
 			soloCount++
 		}
 	}
-	if len(keys) > 0 {
-		res.EndemicToOneCountry = float64(soloCount) / float64(len(keys))
+	if len(keyIDs) > 0 {
+		res.EndemicToOneCountry = float64(soloCount) / float64(len(keyIDs))
 	}
 
 	res.Labels = endemicity.Classify(res.Curves)
 	globals := 0
-	for i, curve := range res.Curves {
+	for i := range res.Curves {
 		label := res.Labels[i]
 		if label == endemicity.Global {
 			globals++
 		}
-		cat := categorize(repDomain[curve.Key])
+		cat := categorize(repDomain[keyIDs[i]])
 		byLabel := res.CategoryLabelCounts[cat]
 		if byLabel == nil {
 			byLabel = map[endemicity.Label]int{}
@@ -227,19 +254,28 @@ var RankBuckets = [][2]int{
 
 // AnalyzeGlobalShareByBucket computes, per rank bucket and country,
 // the share of globally popular sites, summarised by median and
-// quartiles.
+// quartiles. The per-country merged key lists come from the dataset
+// index (computed once, not once per bucket) and the global-site test
+// is a dense []bool indexed by KeyID.
 func AnalyzeGlobalShareByBucket(ds *chrome.Dataset, res EndemicityResult, p world.Platform, m world.Metric, month world.Month) []BucketShare {
-	globalKeys := map[string]bool{}
+	ix := ds.Index()
+	globalIDs := make([]bool, ix.NumKeys())
 	for i, c := range res.Curves {
 		if res.Labels[i] == endemicity.Global {
-			globalKeys[c.Key] = true
+			if id, ok := ix.ID(c.Key); ok {
+				globalIDs[id] = true
+			}
 		}
+	}
+	countryKeys := make([][]chrome.KeyID, len(ds.Countries))
+	for i, country := range ds.Countries {
+		countryKeys[i] = ix.MergedIDs(country, p, m, month)
 	}
 	var out []BucketShare
 	for _, b := range RankBuckets {
 		var shares []float64
-		for _, country := range ds.Countries {
-			keys := ranklist.MergedKeys(ds.List(country, p, m, month))
+		for i := range ds.Countries {
+			keys := countryKeys[i]
 			if len(keys) < b[0] {
 				continue
 			}
@@ -252,8 +288,8 @@ func AnalyzeGlobalShareByBucket(ds *chrome.Dataset, res EndemicityResult, p worl
 				continue
 			}
 			g := 0
-			for _, k := range segment {
-				if globalKeys[k] {
+			for _, id := range segment {
+				if globalIDs[id] {
 					g++
 				}
 			}
@@ -285,12 +321,21 @@ type PairwiseIntersectionCurve struct {
 func AnalyzePairwiseIntersections(ds *chrome.Dataset, p world.Platform, m world.Metric, month world.Month, buckets []int, workers int) []PairwiseIntersectionCurve {
 	codes := append([]string{}, ds.Countries...)
 	sort.Strings(codes)
-	lists := parallel.Map(workers, len(codes), func(i int) []string {
-		return ranklist.MergedKeys(ds.List(codes[i], p, m, month))
+	ix := ds.Index()
+	lists := parallel.Map(workers, len(codes), func(i int) []chrome.KeyID {
+		return ix.MergedIDs(codes[i], p, m, month)
 	})
+	// Per-worker epoch-stamped scratch pairs for the intersection
+	// kernel; one pair serves every comparison a worker performs.
+	type interScratch struct{ a, b *keyset.Set }
+	scratch := sync.Pool{New: func() any {
+		return &interScratch{a: keyset.New(ix.NumKeys()), b: keyset.New(ix.NumKeys())}
+	}}
 	var out []PairwiseIntersectionCurve
 	for _, bucket := range buckets {
 		rows := parallel.Map(workers, len(codes), func(i int) []float64 {
+			scr := scratch.Get().(*interScratch)
+			defer scratch.Put(scr)
 			a := lists[i]
 			if len(a) > bucket {
 				a = a[:bucket]
@@ -301,7 +346,7 @@ func AnalyzePairwiseIntersections(ds *chrome.Dataset, p world.Platform, m world.
 				if len(b) > bucket {
 					b = b[:bucket]
 				}
-				row = append(row, stats.PercentIntersection(a, b))
+				row = append(row, stats.PercentIntersectionIDs(a, b, scr.a, scr.b))
 			}
 			return row
 		})

@@ -10,6 +10,7 @@ package chrome
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"wwb/internal/parallel"
 	"wwb/internal/psl"
@@ -107,6 +108,11 @@ type Dataset struct {
 	// coverage[countryKey] is the fraction of the cell's total traffic
 	// captured by its (thresholded, truncated) rank list.
 	coverage map[string]float64
+
+	// index is the lazily built site-key interner (see index.go); the
+	// Once covers assembled and decoded datasets alike.
+	indexOnce sync.Once
+	index     *KeyIndex
 }
 
 func listKey(country string, p world.Platform, m world.Metric, month world.Month) string {

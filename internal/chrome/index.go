@@ -1,0 +1,184 @@
+package chrome
+
+import (
+	"sort"
+	"sync"
+
+	"wwb/internal/psl"
+	"wwb/internal/world"
+)
+
+// KeyID is a dense identifier for one merged PSL site key within a
+// dataset's key universe. IDs are assigned in lexicographic key order,
+// so sorting IDs numerically equals sorting keys lexically — the
+// property the analyses rely on to keep ID-path output byte-identical
+// to the historical string path.
+type KeyID int32
+
+// KeyIndex interns every merged site key of a dataset exactly once.
+// The key universe is fixed at assembly time, so each domain's PSL
+// parse happens once instead of once per analysis, and the hot
+// comparison kernels (weighted RBO, percent intersection, endemicity
+// rank maps) operate on dense int32 IDs with O(1)-reset scratch
+// buffers instead of hashing strings into fresh maps for each of the
+// ~990 country pairs.
+//
+// Per-cell views are materialised lazily and memoized, so a server
+// that only ever touches one month pays only for that month. A
+// KeyIndex is safe for concurrent use.
+type KeyIndex struct {
+	ds   *Dataset
+	keys []string         // KeyID → key, lexicographically sorted
+	ids  map[string]KeyID // key → KeyID
+
+	mu    sync.Mutex
+	cells map[string]*cellKeys // listKey → memoized per-cell view
+}
+
+// cellKeys is the interned view of one cell's rank list: the deduped
+// merged keys in rank order plus each key's first-occurrence entry
+// position. firstPos is strictly increasing, which makes every TopN
+// prefix of the raw list a binary-searchable prefix of ids.
+type cellKeys struct {
+	ids      []KeyID
+	firstPos []int32
+	// rankOf is built lazily by Rank for point-lookup callers (the
+	// query server); the bulk analyses never pay for it.
+	rankOf map[KeyID]int32
+}
+
+// buildIndex interns the key universe: every distinct merged site key
+// across every cell's rank list, IDs assigned in sorted-key order so
+// the numbering is canonical — independent of map iteration order,
+// worker count, and which cells exist.
+func buildIndex(ds *Dataset) *KeyIndex {
+	distinct := make(map[string]struct{})
+	for _, l := range ds.lists {
+		for _, e := range l {
+			distinct[psl.Default.SiteKey(e.Domain)] = struct{}{}
+		}
+	}
+	keys := make([]string, 0, len(distinct))
+	for k := range distinct {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ids := make(map[string]KeyID, len(keys))
+	for i, k := range keys {
+		ids[k] = KeyID(i)
+	}
+	return &KeyIndex{
+		ds:    ds,
+		keys:  keys,
+		ids:   ids,
+		cells: make(map[string]*cellKeys),
+	}
+}
+
+// Index returns the dataset's interned site-key index, building it on
+// first use. The build walks every rank list once; all later analyses
+// share the result.
+func (d *Dataset) Index() *KeyIndex {
+	d.indexOnce.Do(func() { d.index = buildIndex(d) })
+	return d.index
+}
+
+// NumKeys returns the size of the interned key universe; valid KeyIDs
+// are [0, NumKeys).
+func (ix *KeyIndex) NumKeys() int { return len(ix.keys) }
+
+// Key returns the site key for a dense ID. IDs outside [0, NumKeys)
+// yield the empty string.
+func (ix *KeyIndex) Key(id KeyID) string {
+	if id < 0 || int(id) >= len(ix.keys) {
+		return ""
+	}
+	return ix.keys[id]
+}
+
+// ID returns the dense ID for a site key and whether the key exists in
+// the dataset's universe.
+func (ix *KeyIndex) ID(key string) (KeyID, bool) {
+	id, ok := ix.ids[key]
+	return id, ok
+}
+
+// cell returns the memoized interned view of one cell, computing it on
+// first access. Cells absent from the dataset yield an empty view.
+func (ix *KeyIndex) cell(country string, p world.Platform, m world.Metric, month world.Month) *cellKeys {
+	k := listKey(country, p, m, month)
+	ix.mu.Lock()
+	c := ix.cells[k]
+	ix.mu.Unlock()
+	if c != nil {
+		return c
+	}
+	// Compute outside the lock: cells are independent, and the result
+	// is deterministic, so a racing duplicate compute is harmless.
+	list := ix.ds.lists[k]
+	c = &cellKeys{}
+	seen := make(map[KeyID]struct{}, len(list))
+	for i, e := range list {
+		id := ix.ids[psl.Default.SiteKey(e.Domain)]
+		if _, dup := seen[id]; dup {
+			continue
+		}
+		seen[id] = struct{}{}
+		c.ids = append(c.ids, id)
+		c.firstPos = append(c.firstPos, int32(i))
+	}
+	ix.mu.Lock()
+	if prev := ix.cells[k]; prev != nil {
+		c = prev
+	} else {
+		ix.cells[k] = c
+	}
+	ix.mu.Unlock()
+	return c
+}
+
+// MergedIDs returns a cell's deduped merged key IDs in rank order —
+// the ID-space equivalent of ranklist.MergedKeys over the full list.
+// The returned slice is shared and must not be mutated.
+func (ix *KeyIndex) MergedIDs(country string, p world.Platform, m world.Metric, month world.Month) []KeyID {
+	return ix.cell(country, p, m, month).ids
+}
+
+// MergedIDsTopN returns the merged key IDs of the cell's TopN(n)
+// prefix — the ID-space equivalent of ranklist.MergedKeys(l.TopN(n)).
+// Because dedup keeps first occurrences in order, that is exactly the
+// prefix of MergedIDs whose first occurrences fall before n, found by
+// binary search. The returned slice is shared and must not be mutated.
+func (ix *KeyIndex) MergedIDsTopN(country string, p world.Platform, m world.Metric, month world.Month, n int) []KeyID {
+	c := ix.cell(country, p, m, month)
+	if n < 0 {
+		n = 0
+	}
+	cut := sort.Search(len(c.firstPos), func(i int) bool { return c.firstPos[i] >= int32(n) })
+	return c.ids[:cut]
+}
+
+// KeyRankIDs returns a cell's merged key IDs alongside each key's
+// first-occurrence entry position (0-based; best 1-based rank is
+// pos+1) — the ID-space equivalent of ranklist.KeyRanks. The returned
+// slices are shared and must not be mutated.
+func (ix *KeyIndex) KeyRankIDs(country string, p world.Platform, m world.Metric, month world.Month) (ids []KeyID, firstPos []int32) {
+	c := ix.cell(country, p, m, month)
+	return c.ids, c.firstPos
+}
+
+// Rank returns the best 1-based rank of a key in a cell's list, or 0
+// when absent — a point lookup for query serving. The per-cell rank
+// map is built once on first use and memoized.
+func (ix *KeyIndex) Rank(country string, p world.Platform, m world.Metric, month world.Month, id KeyID) int {
+	c := ix.cell(country, p, m, month)
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if c.rankOf == nil {
+		c.rankOf = make(map[KeyID]int32, len(c.ids))
+		for k, cid := range c.ids {
+			c.rankOf[cid] = c.firstPos[k] + 1
+		}
+	}
+	return int(c.rankOf[id])
+}

@@ -1,0 +1,76 @@
+// Package keyset provides an epoch-stamped membership set over dense
+// non-negative int32 IDs — the scratch substrate behind the ID-based
+// comparison kernels (rbo, stats). Clearing between uses is O(1):
+// instead of wiping the backing array, Reset bumps an epoch counter
+// and membership means "stamped with the current epoch". A single Set
+// can therefore be reused across the ~990 country-pair comparisons of
+// a similarity matrix without re-allocating or re-zeroing 10K-entry
+// maps per pair.
+package keyset
+
+// Set is a reusable membership set over IDs in [0, cap). The zero
+// value is ready to use and grows on demand. Set is not safe for
+// concurrent use; kernels take one per worker.
+type Set struct {
+	stamp []uint32
+	epoch uint32
+}
+
+// New returns a Set pre-sized for IDs in [0, n).
+func New(n int) *Set {
+	if n < 0 {
+		n = 0
+	}
+	return &Set{stamp: make([]uint32, n), epoch: 1}
+}
+
+// Reset empties the set in O(1) by advancing the epoch. On the (rare)
+// epoch wrap-around the backing array is cleared once so stale stamps
+// from 2^32 resets ago cannot read as present.
+func (s *Set) Reset() {
+	s.epoch++
+	if s.epoch == 0 {
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.epoch = 1
+	}
+}
+
+// Add inserts id, growing the backing array if needed, and reports
+// whether the id was newly added. Negative IDs are ignored and report
+// false.
+func (s *Set) Add(id int32) bool {
+	if id < 0 {
+		return false
+	}
+	if int(id) >= len(s.stamp) {
+		s.grow(int(id) + 1)
+	}
+	if s.epoch == 0 {
+		s.epoch = 1
+	}
+	if s.stamp[id] == s.epoch {
+		return false
+	}
+	s.stamp[id] = s.epoch
+	return true
+}
+
+// Has reports whether id is in the set. IDs beyond the backing array
+// (or negative) are absent.
+func (s *Set) Has(id int32) bool {
+	return id >= 0 && int(id) < len(s.stamp) && s.epoch != 0 && s.stamp[id] == s.epoch
+}
+
+// grow extends the backing array to hold at least n entries, doubling
+// to amortise repeated small growths.
+func (s *Set) grow(n int) {
+	c := 2 * len(s.stamp)
+	if c < n {
+		c = n
+	}
+	next := make([]uint32, c)
+	copy(next, s.stamp)
+	s.stamp = next
+}

@@ -1,0 +1,73 @@
+package keyset
+
+import "testing"
+
+func TestZeroValueUsable(t *testing.T) {
+	var s Set
+	if s.Has(0) {
+		t.Error("empty zero-value set should contain nothing")
+	}
+	if !s.Add(3) {
+		t.Error("first Add(3) should report newly added")
+	}
+	if s.Add(3) {
+		t.Error("second Add(3) should report already present")
+	}
+	if !s.Has(3) || s.Has(2) {
+		t.Error("membership after Add(3) wrong")
+	}
+}
+
+func TestResetEmptiesInO1(t *testing.T) {
+	s := New(8)
+	for i := int32(0); i < 8; i++ {
+		s.Add(i)
+	}
+	s.Reset()
+	for i := int32(0); i < 8; i++ {
+		if s.Has(i) {
+			t.Fatalf("id %d survived Reset", i)
+		}
+	}
+	if !s.Add(5) {
+		t.Error("Add after Reset should report newly added")
+	}
+}
+
+func TestGrowPreservesMembership(t *testing.T) {
+	s := New(2)
+	s.Add(1)
+	s.Add(1000) // forces growth
+	if !s.Has(1) || !s.Has(1000) {
+		t.Error("growth lost membership")
+	}
+	if s.Has(999) {
+		t.Error("phantom membership after growth")
+	}
+}
+
+func TestNegativeIDsIgnored(t *testing.T) {
+	s := New(4)
+	if s.Add(-1) {
+		t.Error("Add(-1) should report false")
+	}
+	if s.Has(-1) {
+		t.Error("Has(-1) should report false")
+	}
+}
+
+func TestEpochWraparound(t *testing.T) {
+	s := New(4)
+	s.Add(2)
+	// Force the wrap: epoch jumps to max, the next Reset must clear
+	// the stamps so ancient entries cannot resurface.
+	s.epoch = ^uint32(0)
+	s.stamp[1] = s.epoch // simulate an id stamped in the final epoch
+	s.Reset()
+	if s.Has(1) || s.Has(2) {
+		t.Error("stale stamp visible after epoch wraparound")
+	}
+	if !s.Add(1) {
+		t.Error("Add after wraparound should report newly added")
+	}
+}

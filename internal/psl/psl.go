@@ -9,6 +9,7 @@ package psl
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // List is a compiled set of public-suffix rules.
@@ -16,6 +17,13 @@ type List struct {
 	exact      map[string]struct{} // "com", "co.uk"
 	wildcard   map[string]struct{} // base of "*.<base>", e.g. "ck"
 	exceptions map[string]struct{} // full exception domains, e.g. "www.ck"
+
+	// siteKeys memoizes SiteKey per input domain. The rule set is
+	// immutable after Parse, so entries never invalidate; the domain
+	// universe of a study is fixed at assembly time, so the cache is
+	// bounded by it. sync.Map suits the read-mostly access pattern of
+	// the analyses, which resolve the same domains again and again.
+	siteKeys sync.Map // string → string
 }
 
 // Parse compiles a rule set from the PSL text format: one rule per
@@ -129,7 +137,20 @@ func (l *List) ETLDPlusOne(domain string) (string, error) {
 // ccTLDs this way (google.co.uk and google.com both key to "google").
 // For a bare public suffix the domain itself is returned so unknown
 // inputs still group deterministically.
+//
+// Results are memoized per input domain; the cache is safe for
+// concurrent use, so parallel analyses share one List freely.
 func (l *List) SiteKey(domain string) string {
+	if v, ok := l.siteKeys.Load(domain); ok {
+		return v.(string)
+	}
+	key := l.siteKey(domain)
+	l.siteKeys.Store(domain, key)
+	return key
+}
+
+// siteKey is the uncached SiteKey computation.
+func (l *List) siteKey(domain string) string {
 	e1, err := l.ETLDPlusOne(domain)
 	if err != nil {
 		return normalize(domain)

@@ -1,7 +1,9 @@
 package psl
 
 import (
+	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -181,5 +183,75 @@ func TestDefaultCoversStudyCountryTLDs(t *testing.T) {
 		if _, err := Default.ETLDPlusOne(d); err != nil {
 			t.Errorf("ETLDPlusOne(%q) failed: %v", d, err)
 		}
+	}
+}
+
+func TestSiteKeyMemoConsistent(t *testing.T) {
+	// The memoized path must return exactly what the uncached
+	// computation returns, for hits and misses alike.
+	l := MustParse("com\nco.uk\nck\n*.ck\n!www.ck")
+	domains := []string{"a.com", "b.co.uk", "a.com", "x.y.ck", "www.ck", "", "weird"}
+	for _, d := range domains {
+		want := l.siteKey(d)
+		if got := l.SiteKey(d); got != want {
+			t.Errorf("SiteKey(%q) = %q, want %q", d, got, want)
+		}
+		// Second call exercises the cache-hit path.
+		if got := l.SiteKey(d); got != want {
+			t.Errorf("cached SiteKey(%q) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestSiteKeyMemoConcurrent(t *testing.T) {
+	// Hammer one List's memo cache from many goroutines over an
+	// overlapping domain set; run under -race this verifies the cache
+	// is data-race free, and every goroutine must observe identical
+	// results.
+	l := MustParse("com\nco.uk\ngov.uk\nbr\ncom.br")
+	domains := make([]string, 200)
+	for i := range domains {
+		switch i % 4 {
+		case 0:
+			domains[i] = "site" + strconv.Itoa(i/4) + ".com"
+		case 1:
+			domains[i] = "site" + strconv.Itoa(i/4) + ".co.uk"
+		case 2:
+			domains[i] = "site" + strconv.Itoa(i/4) + ".com.br"
+		default:
+			domains[i] = "nested.site" + strconv.Itoa(i/4) + ".gov.uk"
+		}
+	}
+	want := make([]string, len(domains))
+	for i, d := range domains {
+		want[i] = l.siteKey(d)
+	}
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < 50; round++ {
+				for i := range domains {
+					// Stagger start points so goroutines collide on
+					// different keys at different times.
+					j := (i + g*13) % len(domains)
+					if got := l.SiteKey(domains[j]); got != want[j] {
+						select {
+						case errs <- "SiteKey(" + domains[j] + ") = " + got + ", want " + want[j]:
+						default:
+						}
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
 	}
 }

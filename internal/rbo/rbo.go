@@ -6,6 +6,12 @@
 // proportion to how much browsing happens there.
 package rbo
 
+import (
+	"math"
+
+	"wwb/internal/keyset"
+)
+
 // agreementAt computes A_d = |A_{1..d} ∩ B_{1..d}| / d incrementally.
 type agreement struct {
 	seenA, seenB map[string]struct{}
@@ -84,10 +90,112 @@ func Weighted(a, b []string, weightAt func(rank int) float64) float64 {
 	var sum, wsum float64
 	for d := 1; d <= n; d++ {
 		common := ag.push(a[d-1], b[d-1])
-		w := weightAt(d)
-		if w < 0 {
-			w = 0
+		w := clampWeight(weightAt(d))
+		sum += w * float64(common) / float64(d)
+		wsum += w
+	}
+	if wsum == 0 {
+		return 0
+	}
+	return sum / wsum
+}
+
+// clampWeight sanitises one rank weight: negative and NaN weights
+// become 0. A single NaN from a malformed distribution curve would
+// otherwise poison every cell of a similarity matrix.
+func clampWeight(w float64) float64 {
+	if w < 0 || math.IsNaN(w) {
+		return 0
+	}
+	return w
+}
+
+// Scratch is the reusable state for the ID-based kernels: two
+// epoch-stamped membership sets whose O(1) reset lets one Scratch
+// serve an unbounded sequence of comparisons without per-pair map
+// allocation. A Scratch is not safe for concurrent use; parallel
+// callers keep one per worker (e.g. via sync.Pool).
+type Scratch struct {
+	seenA, seenB *keyset.Set
+}
+
+// NewScratch returns a Scratch pre-sized for IDs in [0, n).
+func NewScratch(n int) *Scratch {
+	return &Scratch{seenA: keyset.New(n), seenB: keyset.New(n)}
+}
+
+// push mirrors agreement.push on dense IDs.
+func (s *Scratch) push(common int, a, b int32) int {
+	if a == b {
+		common++
+	} else {
+		if s.seenB.Has(a) {
+			common++
 		}
+		if s.seenA.Has(b) {
+			common++
+		}
+	}
+	s.seenA.Add(a)
+	s.seenB.Add(b)
+	return common
+}
+
+// RBOIDs is RBO over dense key-ID slices (any ~int32 type, e.g.
+// chrome.KeyID). IDs must identify list elements bijectively — two
+// elements are equal iff their IDs are equal — under which the result
+// is bit-identical to RBO on the corresponding string lists. scr may
+// be nil (a temporary Scratch is allocated); passing a reused Scratch
+// removes all steady-state allocation.
+func RBOIDs[K ~int32](a, b []K, p float64, scr *Scratch) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if n == 0 {
+		return 0
+	}
+	if scr == nil {
+		scr = NewScratch(n)
+	}
+	scr.seenA.Reset()
+	scr.seenB.Reset()
+	common := 0
+	sum := 0.0
+	weight := (1 - p)
+	pw := 1.0
+	var lastA float64
+	for d := 1; d <= n; d++ {
+		common = scr.push(common, int32(a[d-1]), int32(b[d-1]))
+		lastA = float64(common) / float64(d)
+		sum += weight * pw * lastA
+		pw *= p
+	}
+	residual := pw
+	return sum + residual*lastA
+}
+
+// WeightedIDs is Weighted over dense key-ID slices; see RBOIDs for the
+// ID contract and Scratch reuse semantics. Results are bit-identical
+// to Weighted on the corresponding string lists.
+func WeightedIDs[K ~int32](a, b []K, weightAt func(rank int) float64, scr *Scratch) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if n == 0 {
+		return 0
+	}
+	if scr == nil {
+		scr = NewScratch(n)
+	}
+	scr.seenA.Reset()
+	scr.seenB.Reset()
+	common := 0
+	var sum, wsum float64
+	for d := 1; d <= n; d++ {
+		common = scr.push(common, int32(a[d-1]), int32(b[d-1]))
+		w := clampWeight(weightAt(d))
 		sum += w * float64(common) / float64(d)
 		wsum += w
 	}

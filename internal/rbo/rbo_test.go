@@ -169,3 +169,145 @@ func TestWeightedMoreSimilarScoresHigher(t *testing.T) {
 		t.Error("closer list should score higher")
 	}
 }
+
+// ---------------------------------------------------------------------------
+// ID-kernel equivalence: the int32 kernels must be bit-identical to the
+// string kernels whenever the ID assignment is a bijection on keys.
+
+// intern maps string lists to dense int32 IDs with a shared table, the
+// way chrome.KeyIndex does for a dataset.
+func intern(lists ...[]string) [][]int32 {
+	table := map[string]int32{}
+	out := make([][]int32, len(lists))
+	for i, l := range lists {
+		ids := make([]int32, len(l))
+		for j, s := range l {
+			id, ok := table[s]
+			if !ok {
+				id = int32(len(table))
+				table[s] = id
+			}
+			ids[j] = id
+		}
+		out[i] = ids
+	}
+	return out
+}
+
+// randomLists builds two lists over a small shared vocabulary so they
+// overlap heavily and contain duplicate keys, the regime the merged
+// rank lists live in.
+func randomLists(rng *uint64, maxLen, vocab int) (a, b []string) {
+	next := func(n int) int {
+		// xorshift64*: deterministic, dependency-free.
+		x := *rng
+		x ^= x >> 12
+		x ^= x << 25
+		x ^= x >> 27
+		*rng = x
+		return int((x * 2685821657736338717) >> 33 % uint64(n))
+	}
+	a = make([]string, next(maxLen+1))
+	b = make([]string, next(maxLen+1))
+	for i := range a {
+		a[i] = "k" + strconv.Itoa(next(vocab))
+	}
+	for i := range b {
+		b[i] = "k" + strconv.Itoa(next(vocab))
+	}
+	return a, b
+}
+
+func TestRBOIDsMatchesStringsRandomized(t *testing.T) {
+	rng := uint64(1)
+	scr := NewScratch(0) // deliberately undersized: must grow transparently
+	for trial := 0; trial < 500; trial++ {
+		a, b := randomLists(&rng, 40, 25)
+		ids := intern(a, b)
+		for _, p := range []float64{0.3, 0.9, 0.98} {
+			want := RBO(a, b, p)
+			got := RBOIDs(ids[0], ids[1], p, scr)
+			if got != want {
+				t.Fatalf("trial %d p=%v: RBOIDs = %v, RBO = %v (a=%v b=%v)", trial, p, got, want, a, b)
+			}
+		}
+	}
+}
+
+func TestWeightedIDsMatchesStringsRandomized(t *testing.T) {
+	rng := uint64(7)
+	scr := NewScratch(4)
+	weights := []func(int) float64{
+		geomWeight(0.8),
+		func(rank int) float64 { return 1 / float64(rank) },
+		func(rank int) float64 { // hostile: negatives and NaN mixed in
+			switch rank % 3 {
+			case 0:
+				return math.NaN()
+			case 1:
+				return -1
+			}
+			return 1 / float64(rank*rank)
+		},
+	}
+	for trial := 0; trial < 500; trial++ {
+		a, b := randomLists(&rng, 40, 25)
+		ids := intern(a, b)
+		for wi, w := range weights {
+			want := Weighted(a, b, w)
+			got := WeightedIDs(ids[0], ids[1], w, scr)
+			if got != want {
+				t.Fatalf("trial %d weight %d: WeightedIDs = %v, Weighted = %v", trial, wi, got, want)
+			}
+		}
+	}
+}
+
+func TestIDKernelsEdgeCases(t *testing.T) {
+	if got := RBOIDs[int32](nil, []int32{1, 2}, 0.9, nil); got != 0 {
+		t.Errorf("empty RBOIDs = %v, want 0", got)
+	}
+	if got := WeightedIDs[int32](nil, nil, geomWeight(0.9), nil); got != 0 {
+		t.Errorf("empty WeightedIDs = %v, want 0", got)
+	}
+	// Single-element identical lists score 1 in both kernels.
+	if got := RBOIDs([]int32{5}, []int32{5}, 0.5, nil); got != 1 {
+		t.Errorf("identical singleton RBOIDs = %v, want 1", got)
+	}
+}
+
+func TestScratchReuseIsStateless(t *testing.T) {
+	// Back-to-back comparisons through one Scratch must not leak
+	// membership between calls.
+	scr := NewScratch(8)
+	first := WeightedIDs([]int32{0, 1, 2}, []int32{0, 1, 2}, geomWeight(0.9), scr)
+	_ = WeightedIDs([]int32{3, 4, 5}, []int32{6, 7, 0}, geomWeight(0.9), scr)
+	again := WeightedIDs([]int32{0, 1, 2}, []int32{0, 1, 2}, geomWeight(0.9), scr)
+	if first != again {
+		t.Errorf("scratch reuse changed result: %v vs %v", first, again)
+	}
+	if first != 1 {
+		t.Errorf("identical lists = %v, want 1", first)
+	}
+}
+
+func TestWeightedNaNWeightsClamped(t *testing.T) {
+	// A NaN at one rank must act like weight 0, not poison the score
+	// (a malformed distribution curve would otherwise NaN the whole
+	// similarity matrix).
+	w := func(rank int) float64 {
+		if rank == 2 {
+			return math.NaN()
+		}
+		return 1
+	}
+	a := seq(5, "s")
+	got := Weighted(a, a, w)
+	if math.IsNaN(got) || got != 1 {
+		t.Errorf("NaN weight should be clamped to 0: got %v, want 1", got)
+	}
+	// All-NaN weights behave like all-zero weights.
+	if got := Weighted(a, a, func(int) float64 { return math.NaN() }); got != 0 {
+		t.Errorf("all-NaN weights = %v, want 0", got)
+	}
+}

@@ -3,6 +3,8 @@ package stats
 import (
 	"math"
 	"sort"
+
+	"wwb/internal/keyset"
 )
 
 // IQRFences returns the Tukey outlier fences for xs: values below
@@ -87,6 +89,47 @@ func PercentIntersection(a, b []string) float64 {
 		if _, ok := setB[s]; ok {
 			inter++
 		}
+	}
+	return float64(inter) / float64(max)
+}
+
+// PercentIntersectionIDs is PercentIntersection over dense key-ID
+// slices (any ~int32 type). IDs must identify elements bijectively —
+// equal element iff equal ID — under which the result is bit-identical
+// to PercentIntersection on the corresponding string slices, including
+// duplicate collapsing. sa and sb are reusable epoch-stamped scratch
+// sets; either may be nil (allocated per call). One (sa, sb) pair per
+// worker removes all steady-state allocation from all-pairs loops.
+func PercentIntersectionIDs[K ~int32](a, b []K, sa, sb *keyset.Set) float64 {
+	if sa == nil {
+		sa = keyset.New(len(a))
+	}
+	if sb == nil {
+		sb = keyset.New(len(b))
+	}
+	sa.Reset()
+	sb.Reset()
+	na := 0
+	for _, id := range a {
+		if sa.Add(int32(id)) {
+			na++
+		}
+	}
+	nb, inter := 0, 0
+	for _, id := range b {
+		if sb.Add(int32(id)) {
+			nb++
+			if sa.Has(int32(id)) {
+				inter++
+			}
+		}
+	}
+	if na == 0 && nb == 0 {
+		return 1
+	}
+	max := na
+	if nb > max {
+		max = nb
 	}
 	return float64(inter) / float64(max)
 }

@@ -2,9 +2,10 @@
 // study: descriptive statistics, rank correlation, exact tests with
 // multiple-comparison correction, and outlier detection.
 //
-// The package is deliberately dependency-free (stdlib math only) and
-// operates on float64 slices. Functions never mutate their inputs
-// unless documented otherwise.
+// The package is deliberately dependency-light (stdlib math plus the
+// tiny internal/keyset scratch substrate) and operates on float64
+// slices. Functions never mutate their inputs unless documented
+// otherwise.
 package stats
 
 import (

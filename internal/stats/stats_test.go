@@ -4,8 +4,11 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strconv"
 	"testing"
 	"testing/quick"
+
+	"wwb/internal/keyset"
 )
 
 func almostEqual(a, b, tol float64) bool {
@@ -428,5 +431,61 @@ func TestRanksPermutationProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// ID-based intersection kernel equivalence.
+
+func TestPercentIntersectionIDsMatchesStrings(t *testing.T) {
+	// Deterministic xorshift so failures reproduce.
+	rng := uint64(42)
+	next := func(n int) int {
+		rng ^= rng >> 12
+		rng ^= rng << 25
+		rng ^= rng >> 27
+		return int((rng * 2685821657736338717) >> 33 % uint64(n))
+	}
+	sa, sb := keyset.New(0), keyset.New(0) // undersized: must grow transparently
+	for trial := 0; trial < 500; trial++ {
+		a := make([]string, next(30))
+		b := make([]string, next(30))
+		ids := map[string]int32{}
+		idOf := func(s string) int32 {
+			id, ok := ids[s]
+			if !ok {
+				id = int32(len(ids))
+				ids[s] = id
+			}
+			return id
+		}
+		ai := make([]int32, len(a))
+		bi := make([]int32, len(b))
+		for i := range a {
+			a[i] = "k" + strconv.Itoa(next(12)) // heavy duplicates
+			ai[i] = idOf(a[i])
+		}
+		for i := range b {
+			b[i] = "k" + strconv.Itoa(next(12))
+			bi[i] = idOf(b[i])
+		}
+		want := PercentIntersection(a, b)
+		got := PercentIntersectionIDs(ai, bi, sa, sb)
+		if got != want {
+			t.Fatalf("trial %d: IDs = %v, strings = %v (a=%v b=%v)", trial, got, want, a, b)
+		}
+	}
+}
+
+func TestPercentIntersectionIDsEdgeCases(t *testing.T) {
+	if got := PercentIntersectionIDs[int32](nil, nil, nil, nil); got != 1 {
+		t.Errorf("both empty = %v, want 1", got)
+	}
+	if got := PercentIntersectionIDs([]int32{1, 2}, nil, nil, nil); got != 0 {
+		t.Errorf("one empty = %v, want 0", got)
+	}
+	// Duplicates collapse before the ratio, exactly like the string path.
+	if got := PercentIntersectionIDs([]int32{1, 1, 1, 2}, []int32{1}, nil, nil); got != 0.5 {
+		t.Errorf("duplicate collapse = %v, want 0.5", got)
 	}
 }
