@@ -23,7 +23,7 @@ func TestDatasetOnlyMode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newDatasetServer(ds).routes())
+	srv := httptest.NewServer(newDatasetServer(ds).routes(middlewareConfig{}))
 	defer srv.Close()
 
 	// Lists work; category is empty without a study.

@@ -21,12 +21,14 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"wwb/internal/chaos"
 	"wwb/internal/chrome"
 	"wwb/internal/core"
 	"wwb/internal/world"
@@ -37,12 +39,16 @@ func main() {
 	log.SetPrefix("wwbserve: ")
 
 	var (
-		addr    = flag.String("addr", "127.0.0.1:8089", "listen address")
-		data    = flag.String("data", "", "serve a wwbgen JSON dataset instead of assembling a study (site categories and experiments unavailable)")
-		scale   = flag.String("scale", "small", "universe scale: small, default, or large")
-		seed    = flag.Uint64("seed", 42, "world generation seed")
-		febOnly = flag.Bool("feb-only", true, "assemble February only (faster startup)")
-		workers = flag.Int("workers", 0, "worker goroutines for assembly and analyses (0 = one per CPU, 1 = sequential; output is identical)")
+		addr        = flag.String("addr", "127.0.0.1:8089", "listen address")
+		data        = flag.String("data", "", "serve a wwbgen JSON dataset instead of assembling a study (site categories and experiments unavailable)")
+		scale       = flag.String("scale", "small", "universe scale: small, default, or large")
+		seed        = flag.Uint64("seed", 42, "world generation seed")
+		febOnly     = flag.Bool("feb-only", true, "assemble February only (faster startup)")
+		workers     = flag.Int("workers", 0, "worker goroutines for assembly and analyses (0 = one per CPU, 1 = sequential; output is identical)")
+		maxInFlight = flag.Int("max-inflight", 64, "max concurrently served requests before shedding with 503 (0 = unlimited)")
+		reqTimeout  = flag.Duration("request-timeout", time.Minute, "per-request context deadline (0 = none)")
+		chaosSeed   = flag.Uint64("chaos-seed", 0, "fault-injection seed for the categorisation transport (only with -chaos-rate > 0)")
+		chaosRate   = flag.Float64("chaos-rate", 0, "fault-injection rate in [0,1] for the categorisation transport; 0 disables chaos")
 	)
 	flag.Parse()
 
@@ -58,10 +64,18 @@ func main() {
 	}
 	cfg.World.Seed = *seed
 	cfg.Workers = *workers
+	cfg.Chaos = chaos.Flaky(*chaosSeed, *chaosRate)
 	if *febOnly {
 		cfg = cfg.FebOnly()
 	}
 
+	// Install signal handling before assembly: a Ctrl-C during the
+	// (potentially long) study build cancels it promptly instead of
+	// being ignored until the server is up.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	mcfg := middlewareConfig{MaxInFlight: *maxInFlight, RequestTimeout: *reqTimeout}
 	var handler http.Handler
 	if *data != "" {
 		f, err := os.Open(*data)
@@ -74,39 +88,58 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("loaded dataset %s (%d countries); serving on http://%s", *data, len(ds.Countries), *addr)
-		handler = newDatasetServer(ds).routes()
+		handler = newDatasetServer(ds).routes(mcfg)
 	} else {
 		log.Printf("assembling %s study (seed %d)...", *scale, *seed)
-		study := core.New(cfg)
+		if cfg.Chaos.Enabled() {
+			log.Printf("chaos enabled: seed %d rate %.2f", cfg.Chaos.Seed, *chaosRate)
+		}
+		study, err := core.NewCtx(ctx, cfg)
+		if err != nil {
+			log.Fatalf("assembly aborted: %v", err)
+		}
 		log.Printf("study ready; serving on http://%s", *addr)
-		handler = newServer(study).routes()
+		handler = newServer(study).routes(mcfg)
 	}
 
 	srv := &http.Server{
-		Addr:              *addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      120 * time.Second,
 		IdleTimeout:       60 * time.Second,
 	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := serve(ctx, srv, ln, 10*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("drained, bye")
+}
 
+// serve runs srv on ln until ctx is cancelled (SIGINT/SIGTERM in
+// production), then shuts down gracefully: the listener closes so new
+// connections are refused while in-flight requests get up to drain to
+// finish. Split from main so the shutdown path is testable.
+func serve(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration) error {
 	errCh := make(chan error, 1)
-	go func() { errCh <- srv.ListenAndServe() }()
-
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	go func() { errCh <- srv.Serve(ln) }()
 	select {
 	case err := <-errCh:
-		if !errors.Is(err, http.ErrServerClosed) {
-			log.Fatal(err)
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
 		}
-	case sig := <-stop:
-		log.Printf("received %v, shutting down", sig)
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		return err
+	case <-ctx.Done():
+		log.Printf("shutting down (%v)", context.Cause(ctx))
+		sctx, cancel := context.WithTimeout(context.Background(), drain)
 		defer cancel()
-		if err := srv.Shutdown(ctx); err != nil {
-			log.Fatalf("shutdown: %v", err)
+		if err := srv.Shutdown(sctx); err != nil {
+			return err
 		}
+		<-errCh // Serve has returned ErrServerClosed
+		return nil
 	}
 }

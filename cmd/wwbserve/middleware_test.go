@@ -1,0 +1,199 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// errorEnvelope decodes the JSON error body every failure path must
+// produce.
+func errorEnvelope(t *testing.T, body []byte) string {
+	t.Helper()
+	var out struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("error body is not a JSON envelope: %v (%q)", err, body)
+	}
+	if out.Error == "" {
+		t.Fatalf("empty error envelope: %q", body)
+	}
+	return out.Error
+}
+
+func TestRequestIDsAssignedAndUnique(t *testing.T) {
+	resp1, _ := get(t, "/healthz")
+	resp2, _ := get(t, "/healthz")
+	id1, id2 := resp1.Header.Get("X-Request-ID"), resp2.Header.Get("X-Request-ID")
+	if id1 == "" || id2 == "" {
+		t.Fatalf("missing X-Request-ID: %q, %q", id1, id2)
+	}
+	if id1 == id2 {
+		t.Errorf("request IDs collide: %q", id1)
+	}
+}
+
+func TestLogLineHasStatusDurationAndID(t *testing.T) {
+	var buf bytes.Buffer
+	log.SetOutput(&buf)
+	defer log.SetOutput(prevWriter())
+
+	resp, _ := get(t, "/v1/countries")
+	line := buf.String()
+	if !strings.Contains(line, "200") {
+		t.Errorf("log line missing status: %q", line)
+	}
+	if !strings.Contains(line, resp.Header.Get("X-Request-ID")) {
+		t.Errorf("log line missing request ID %q: %q", resp.Header.Get("X-Request-ID"), line)
+	}
+	if !strings.Contains(line, "µs") && !strings.Contains(line, "ms") && !strings.Contains(line, "s ") {
+		t.Errorf("log line missing duration: %q", line)
+	}
+}
+
+func TestUnknownPathIsJSON404(t *testing.T) {
+	resp, body := get(t, "/nope/nothing")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("content type %q", ct)
+	}
+	if msg := errorEnvelope(t, body); !strings.Contains(msg, "/nope/nothing") {
+		t.Errorf("envelope %q does not name the path", msg)
+	}
+}
+
+func TestErrorEnvelopesOnBadParams(t *testing.T) {
+	for _, path := range []string{
+		"/v1/list?country=XX",
+		"/v1/list?country=US&platform=ios",
+		"/v1/list?country=US&metric=clicks",
+		"/v1/list?country=US&n=zero",
+		"/v1/crux?country=ZZ",
+		"/v1/site",
+	} {
+		resp, body := get(t, path)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", path, resp.StatusCode)
+			continue
+		}
+		errorEnvelope(t, body)
+	}
+	resp, body := get(t, "/v1/experiment/fig99")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown experiment: status %d, want 404", resp.StatusCode)
+	}
+	errorEnvelope(t, body)
+}
+
+func TestRecoverPanicsToJSON500(t *testing.T) {
+	h := withMiddleware(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("boom")
+	}), middlewareConfig{})
+	log.SetOutput(io.Discard)
+	defer log.SetOutput(prevWriter())
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatalf("connection died on panic: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", resp.StatusCode)
+	}
+	if msg := errorEnvelope(t, body); !strings.Contains(msg, resp.Header.Get("X-Request-ID")) {
+		t.Errorf("500 envelope %q does not carry the request ID", msg)
+	}
+}
+
+func TestInFlightLimiterSheds(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	h := withMiddleware(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		close(entered)
+		<-release
+		w.WriteHeader(http.StatusOK)
+	}), middlewareConfig{MaxInFlight: 1})
+	log.SetOutput(io.Discard)
+	defer log.SetOutput(prevWriter())
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var firstStatus int
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get(srv.URL + "/")
+		if err == nil {
+			firstStatus = resp.StatusCode
+			resp.Body.Close()
+		}
+	}()
+	<-entered // the slot is now taken
+
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("second request: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+	errorEnvelope(t, body)
+
+	close(release)
+	wg.Wait()
+	if firstStatus != http.StatusOK {
+		t.Errorf("first request: status %d, want 200", firstStatus)
+	}
+}
+
+func TestRequestTimeoutOnContext(t *testing.T) {
+	sawDeadline := false
+	h := withMiddleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+			sawDeadline = context.Cause(r.Context()) == context.DeadlineExceeded
+			httpError(w, http.StatusServiceUnavailable, "timed out")
+		case <-time.After(5 * time.Second):
+			w.WriteHeader(http.StatusOK)
+		}
+	}), middlewareConfig{RequestTimeout: 20 * time.Millisecond})
+	log.SetOutput(io.Discard)
+	defer log.SetOutput(prevWriter())
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !sawDeadline {
+		t.Error("handler context never hit its deadline")
+	}
+}
+
+// prevWriter returns the process's default log destination for
+// restoring after tests that silence or capture it.
+func prevWriter() io.Writer { return logDefaultWriter }
+
+var logDefaultWriter = log.Writer()

@@ -49,7 +49,10 @@ func (s *server) categorize(domain string) string {
 	return string(s.study.Categorize(domain))
 }
 
-func (s *server) routes() http.Handler {
+// routes builds the route mux wrapped in the hardening middleware
+// stack (request IDs, logging, panic recovery, load shedding,
+// per-request timeout — see middleware.go).
+func (s *server) routes(mcfg middlewareConfig) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /v1/countries", s.handleCountries)
@@ -59,14 +62,12 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /v1/crux", s.handleCrux)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	mux.HandleFunc("GET /v1/experiment/{id}", s.handleExperiment)
-	return logRequests(mux)
-}
-
-func logRequests(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		next.ServeHTTP(w, r)
-		log.Printf("%s %s", r.Method, r.URL)
+	// Catch-all: unknown paths get the same JSON error envelope as
+	// every other failure, not net/http's plain-text 404 page.
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		httpError(w, http.StatusNotFound, "no such endpoint %s", r.URL.Path)
 	})
+	return withMiddleware(mux, mcfg)
 }
 
 // writeJSON sends a JSON response.
@@ -273,10 +274,16 @@ func (s *server) handleSite(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleCrux(w http.ResponseWriter, r *http.Request) {
+	country := strings.ToUpper(r.URL.Query().Get("country"))
+	if country != "" {
+		if _, ok := world.CountryByCode(country); !ok {
+			httpError(w, http.StatusBadRequest, "unknown country %q", country)
+			return
+		}
+	}
 	s.cruxOnce.Do(func() {
 		s.cruxRecords = crux.Export(s.ds, s.month)
 	})
-	country := strings.ToUpper(r.URL.Query().Get("country"))
 	writeJSON(w, http.StatusOK, crux.Filter(s.cruxRecords, country))
 }
 

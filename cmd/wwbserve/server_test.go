@@ -16,7 +16,7 @@ import (
 // study; the study is shared with the dataset-only mode test.
 var (
 	testStudyForDataset = core.New(core.SmallConfig().FebOnly())
-	testSrv             = httptest.NewServer(newServer(testStudyForDataset).routes())
+	testSrv             = httptest.NewServer(newServer(testStudyForDataset).routes(middlewareConfig{}))
 )
 
 func get(t *testing.T, path string) (*http.Response, []byte) {

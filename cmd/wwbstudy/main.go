@@ -16,6 +16,7 @@ import (
 	"os"
 	"strings"
 
+	"wwb/internal/chaos"
 	"wwb/internal/core"
 	"wwb/internal/experiments"
 	"wwb/internal/world"
@@ -33,6 +34,8 @@ func main() {
 		febOnly    = flag.Bool("feb-only", false, "assemble February only (faster; disables sec4.5)")
 		robustness = flag.Int("robustness", 0, "instead of experiments, sweep N seeds and print headline stats")
 		workers    = flag.Int("workers", 0, "worker goroutines for assembly and analyses (0 = one per CPU, 1 = sequential; output is identical)")
+		chaosSeed  = flag.Uint64("chaos-seed", 0, "fault-injection seed for the categorisation transport (only with -chaos-rate > 0)")
+		chaosRate  = flag.Float64("chaos-rate", 0, "fault-injection rate in [0,1] for the categorisation transport; 0 disables chaos")
 	)
 	flag.Parse()
 
@@ -56,6 +59,7 @@ func main() {
 	}
 	cfg.World.Seed = *seed
 	cfg.Workers = *workers
+	cfg.Chaos = chaos.Flaky(*chaosSeed, *chaosRate)
 	if *febOnly {
 		cfg = cfg.FebOnly()
 	}
@@ -71,7 +75,15 @@ func main() {
 	}
 
 	log.Printf("running %s study (seed %d)...", *scale, *seed)
-	runner := experiments.Runner{Study: core.New(cfg)}
+	if cfg.Chaos.Enabled() {
+		log.Printf("chaos enabled: seed %d rate %.2f", cfg.Chaos.Seed, *chaosRate)
+	}
+	study := core.New(cfg)
+	runner := experiments.Runner{Study: study}
+	if cfg.Chaos.Enabled() {
+		// Surface how much injected fault traffic the study absorbed.
+		defer func() { log.Printf("chaos stats: %+v", study.Client.Stats()) }()
+	}
 
 	if *experiment == "all" {
 		fmt.Print(runner.RunAll())

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"sort"
 	"sync"
 
@@ -37,15 +38,29 @@ type SimilarityMatrix struct {
 // buffers instead of hashing strings into two fresh maps per pair.
 // Results are bit-identical to the historical string-keyed path.
 func AnalyzeCountrySimilarity(ds *chrome.Dataset, p world.Platform, m world.Metric, month world.Month, n, workers int) SimilarityMatrix {
+	sm, err := AnalyzeCountrySimilarityCtx(context.Background(), ds, p, m, month, n, workers)
+	if err != nil {
+		panic("analysis: similarity with background context failed: " + err.Error())
+	}
+	return sm
+}
+
+// AnalyzeCountrySimilarityCtx is the cancellable entry point: workers
+// stop picking up matrix rows once ctx is done and the context error
+// is returned with a zero matrix.
+func AnalyzeCountrySimilarityCtx(ctx context.Context, ds *chrome.Dataset, p world.Platform, m world.Metric, month world.Month, n, workers int) (SimilarityMatrix, error) {
 	curve := ds.Dist(p, world.PageLoads)
 	codes := append([]string{}, ds.Countries...)
 	sort.Strings(codes)
 	ix := ds.Index()
 
 	// Cross-country comparisons merge ccTLD variants first.
-	keys := parallel.Map(workers, len(codes), func(i int) []chrome.KeyID {
-		return ix.MergedIDsTopN(codes[i], p, m, month, n)
+	keys, err := parallel.MapCtx(ctx, workers, len(codes), func(_ context.Context, i int) ([]chrome.KeyID, error) {
+		return ix.MergedIDsTopN(codes[i], p, m, month, n), nil
 	})
+	if err != nil {
+		return SimilarityMatrix{}, err
+	}
 	sim := make([][]float64, len(codes))
 	for i := range sim {
 		sim[i] = make([]float64, len(codes))
@@ -55,7 +70,7 @@ func AnalyzeCountrySimilarity(ds *chrome.Dataset, p world.Platform, m world.Metr
 	scratch := sync.Pool{New: func() any { return rbo.NewScratch(ix.NumKeys()) }}
 	// Row i fills sim[i][j] and sim[j][i] for j > i only, so rows
 	// write disjoint cells and can run concurrently.
-	parallel.ForEach(workers, len(codes), func(i int) {
+	err = parallel.ForEachCtx(ctx, workers, len(codes), func(_ context.Context, i int) error {
 		scr := scratch.Get().(*rbo.Scratch)
 		defer scratch.Put(scr)
 		for j := i + 1; j < len(codes); j++ {
@@ -63,8 +78,12 @@ func AnalyzeCountrySimilarity(ds *chrome.Dataset, p world.Platform, m world.Metr
 			sim[i][j] = v
 			sim[j][i] = v
 		}
+		return nil
 	})
-	return SimilarityMatrix{Countries: codes, Sim: sim}
+	if err != nil {
+		return SimilarityMatrix{}, err
+	}
+	return SimilarityMatrix{Countries: codes, Sim: sim}, nil
 }
 
 // CountryCluster is one cluster of browsing-similar countries.
@@ -141,6 +160,17 @@ const EntryBar = 1000
 // 1 = sequential); both fan-outs write index-addressed slots, so the
 // result is identical for any worker count.
 func AnalyzeEndemicity(ds *chrome.Dataset, categorize dist.Categorize, p world.Platform, m world.Metric, month world.Month, workers int) EndemicityResult {
+	res, err := AnalyzeEndemicityCtx(context.Background(), ds, categorize, p, m, month, workers)
+	if err != nil {
+		panic("analysis: endemicity with background context failed: " + err.Error())
+	}
+	return res
+}
+
+// AnalyzeEndemicityCtx is the cancellable entry point: both fan-outs
+// (per-country rank maps, per-site curves) stop once ctx is done and
+// the context error is returned with a zero result.
+func AnalyzeEndemicityCtx(ctx context.Context, ds *chrome.Dataset, categorize dist.Categorize, p world.Platform, m world.Metric, month world.Month, workers int) (EndemicityResult, error) {
 	codes := append([]string{}, ds.Countries...)
 	sort.Strings(codes)
 	ix := ds.Index()
@@ -149,14 +179,17 @@ func AnalyzeEndemicity(ds *chrome.Dataset, categorize dist.Categorize, p world.P
 	// Merged-key rank per country, as dense rank-by-KeyID arrays
 	// (0 = absent). The index already holds each cell's deduped keys
 	// with first occurrences, so no string is parsed or hashed here.
-	perCountry := parallel.Map(workers, len(codes), func(i int) []int32 {
+	perCountry, err := parallel.MapCtx(ctx, workers, len(codes), func(_ context.Context, i int) ([]int32, error) {
 		ranks := make([]int32, nk)
 		ids, firstPos := ix.KeyRankIDs(codes[i], p, m, month)
 		for k, id := range ids {
 			ranks[id] = firstPos[k] + 1
 		}
-		return ranks
+		return ranks, nil
 	})
+	if err != nil {
+		return EndemicityResult{}, err
+	}
 
 	// Sites qualifying via the entry bar, and a representative domain
 	// for categorisation (the best-ranked domain observed). Only a
@@ -196,7 +229,7 @@ func AnalyzeEndemicity(ds *chrome.Dataset, categorize dist.Categorize, p world.P
 	// Curves are independent per site; shapes are classified in the
 	// same fan-out. The shared tallies are folded sequentially below.
 	res.Curves = make([]endemicity.Curve, len(keyIDs))
-	shapes := parallel.Map(workers, len(keyIDs), func(k int) endemicity.Shape {
+	shapes, err := parallel.MapCtx(ctx, workers, len(keyIDs), func(_ context.Context, k int) (endemicity.Shape, error) {
 		id := keyIDs[k]
 		ranks := map[string]int{}
 		for i, c := range codes {
@@ -205,8 +238,11 @@ func AnalyzeEndemicity(ds *chrome.Dataset, categorize dist.Categorize, p world.P
 			}
 		}
 		res.Curves[k] = endemicity.BuildCurve(ix.Key(id), ranks, codes)
-		return endemicity.ClassifyShape(res.Curves[k])
+		return endemicity.ClassifyShape(res.Curves[k]), nil
 	})
+	if err != nil {
+		return EndemicityResult{}, err
+	}
 	soloCount := 0
 	for k, curve := range res.Curves {
 		res.ShapeCounts[shapes[k]]++
@@ -236,7 +272,7 @@ func AnalyzeEndemicity(ds *chrome.Dataset, categorize dist.Categorize, p world.P
 	if len(res.Curves) > 0 {
 		res.GlobalShare = float64(globals) / float64(len(res.Curves))
 	}
-	return res
+	return res, nil
 }
 
 // GlobalShareByBucket computes Figure 9: for each rank bucket, the
@@ -319,12 +355,26 @@ type PairwiseIntersectionCurve struct {
 // per-pair value sequence — and hence the float sums behind Mean —
 // matches the sequential double loop exactly.
 func AnalyzePairwiseIntersections(ds *chrome.Dataset, p world.Platform, m world.Metric, month world.Month, buckets []int, workers int) []PairwiseIntersectionCurve {
+	out, err := AnalyzePairwiseIntersectionsCtx(context.Background(), ds, p, m, month, buckets, workers)
+	if err != nil {
+		panic("analysis: pairwise intersections with background context failed: " + err.Error())
+	}
+	return out
+}
+
+// AnalyzePairwiseIntersectionsCtx is the cancellable entry point:
+// workers stop picking up country-pair rows once ctx is done and the
+// context error is returned with a nil slice.
+func AnalyzePairwiseIntersectionsCtx(ctx context.Context, ds *chrome.Dataset, p world.Platform, m world.Metric, month world.Month, buckets []int, workers int) ([]PairwiseIntersectionCurve, error) {
 	codes := append([]string{}, ds.Countries...)
 	sort.Strings(codes)
 	ix := ds.Index()
-	lists := parallel.Map(workers, len(codes), func(i int) []chrome.KeyID {
-		return ix.MergedIDs(codes[i], p, m, month)
+	lists, err := parallel.MapCtx(ctx, workers, len(codes), func(_ context.Context, i int) ([]chrome.KeyID, error) {
+		return ix.MergedIDs(codes[i], p, m, month), nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	// Per-worker epoch-stamped scratch pairs for the intersection
 	// kernel; one pair serves every comparison a worker performs.
 	type interScratch struct{ a, b *keyset.Set }
@@ -333,7 +383,7 @@ func AnalyzePairwiseIntersections(ds *chrome.Dataset, p world.Platform, m world.
 	}}
 	var out []PairwiseIntersectionCurve
 	for _, bucket := range buckets {
-		rows := parallel.Map(workers, len(codes), func(i int) []float64 {
+		rows, err := parallel.MapCtx(ctx, workers, len(codes), func(_ context.Context, i int) ([]float64, error) {
 			scr := scratch.Get().(*interScratch)
 			defer scratch.Put(scr)
 			a := lists[i]
@@ -348,8 +398,11 @@ func AnalyzePairwiseIntersections(ds *chrome.Dataset, p world.Platform, m world.
 				}
 				row = append(row, stats.PercentIntersectionIDs(a, b, scr.a, scr.b))
 			}
-			return row
+			return row, nil
 		})
+		if err != nil {
+			return nil, err
+		}
 		var vals []float64
 		for _, row := range rows {
 			vals = append(vals, row...)
@@ -360,5 +413,5 @@ func AnalyzePairwiseIntersections(ds *chrome.Dataset, p world.Platform, m world.
 			Mean:       stats.Mean(vals),
 		})
 	}
-	return out
+	return out, nil
 }

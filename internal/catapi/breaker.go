@@ -1,0 +1,144 @@
+package catapi
+
+import "sync"
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed: lookups run normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the transport is considered down; lookups shed all
+	// waiting (backoff sleeps and injected delays are skipped).
+	BreakerOpen
+	// BreakerHalfOpen: one probe lookup runs at full fidelity to test
+	// whether the transport recovered.
+	BreakerHalfOpen
+)
+
+// String names the state.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "invalid"
+	}
+}
+
+// BreakerConfig tunes the circuit breaker.
+type BreakerConfig struct {
+	// FailureThreshold is the run of consecutive exhausted lookups
+	// that opens the circuit.
+	FailureThreshold int
+	// Cooldown is how many shed lookups pass before a half-open probe
+	// is admitted. Counting lookups instead of wall time keeps the
+	// breaker's behaviour independent of the machine's clock.
+	Cooldown int
+}
+
+// DefaultBreakerConfig opens after 5 straight exhausted lookups and
+// probes every 50 shed lookups.
+func DefaultBreakerConfig() BreakerConfig {
+	return BreakerConfig{FailureThreshold: 5, Cooldown: 50}
+}
+
+// Breaker is a determinism-safe circuit breaker: it gates *time*,
+// never *answers*. When open, the resilient client still walks the
+// same deterministic attempt/fault schedule for each lookup — the same
+// label comes out — but skips every sleep (its own backoff and the
+// transport's injected latency), so a down upstream costs almost
+// nothing per call. A conventional breaker that rejected calls
+// outright would make labels depend on lookup order, destroying the
+// per-seed reproducibility the study requires.
+type Breaker struct {
+	mu     sync.Mutex
+	cfg    BreakerConfig
+	state  BreakerState
+	fails  int // consecutive exhausted lookups
+	shed   int // lookups shed since the circuit opened
+	opens  int // total transitions into BreakerOpen
+	probes int // total half-open probes admitted
+}
+
+// NewBreaker builds a breaker; zero-value config fields fall back to
+// defaults.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	def := DefaultBreakerConfig()
+	if cfg.FailureThreshold <= 0 {
+		cfg.FailureThreshold = def.FailureThreshold
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = def.Cooldown
+	}
+	return &Breaker{cfg: cfg}
+}
+
+// allow is called before a lookup resolves; it reports whether the
+// lookup should shed its sleeps (circuit open, not probing).
+func (b *Breaker) allow() (shed bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerOpen:
+		b.shed++
+		if b.shed >= b.cfg.Cooldown {
+			b.state = BreakerHalfOpen
+			b.probes++
+			return false
+		}
+		return true
+	case BreakerHalfOpen:
+		// One probe is already in flight; further lookups shed until
+		// it reports back.
+		b.shed++
+		return true
+	default:
+		return false
+	}
+}
+
+// record is called after a lookup resolves: ok means the transport
+// answered within the retry budget (a degraded lookup is a failure).
+func (b *Breaker) record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		b.fails = 0
+		if b.state != BreakerClosed {
+			b.state = BreakerClosed
+			b.shed = 0
+		}
+		return
+	}
+	b.fails++
+	if b.state == BreakerHalfOpen || (b.state == BreakerClosed && b.fails >= b.cfg.FailureThreshold) {
+		b.state = BreakerOpen
+		b.shed = 0
+		b.opens++
+	}
+}
+
+// BreakerSnapshot is a point-in-time view for metrics and tests.
+type BreakerSnapshot struct {
+	State            BreakerState
+	ConsecutiveFails int
+	Opens            int
+	Probes           int
+}
+
+// Snapshot returns the current breaker counters.
+func (b *Breaker) Snapshot() BreakerSnapshot {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerSnapshot{
+		State:            b.state,
+		ConsecutiveFails: b.fails,
+		Opens:            b.opens,
+		Probes:           b.probes,
+	}
+}

@@ -9,7 +9,11 @@ import (
 // dropped ones, and hand-verified sets for Search Engines and Social
 // Networks.
 type Categorizer struct {
-	svc        *Service
+	// lookup queries the API for a domain's label. It is the
+	// service's Lookup in the direct path, or a resilient Client's
+	// LookupFunc when the transport can fail.
+	lookup func(domain string) taxonomy.Category
+
 	validation *Validation
 	// verified maps domains to their manually confirmed category; it
 	// overrides everything else.
@@ -19,10 +23,18 @@ type Categorizer struct {
 // NewCategorizer wires a service, its validation outcome, and the
 // manually verified domain sets.
 func NewCategorizer(svc *Service, v *Validation, verified map[string]taxonomy.Category) *Categorizer {
+	return NewCategorizerFunc(svc.Lookup, v, verified)
+}
+
+// NewCategorizerFunc is NewCategorizer with an arbitrary lookup
+// function — typically a resilient Client's LookupFunc, so degraded
+// lookups surface as taxonomy.Uncategorized instead of blocking the
+// study.
+func NewCategorizerFunc(lookup func(domain string) taxonomy.Category, v *Validation, verified map[string]taxonomy.Category) *Categorizer {
 	if verified == nil {
 		verified = map[string]taxonomy.Category{}
 	}
-	return &Categorizer{svc: svc, validation: v, verified: verified}
+	return &Categorizer{lookup: lookup, validation: v, verified: verified}
 }
 
 // Category returns the study category for a domain.
@@ -30,7 +42,12 @@ func (c *Categorizer) Category(domain string) taxonomy.Category {
 	if cat, ok := c.verified[domain]; ok {
 		return cat
 	}
-	label := c.svc.Lookup(domain)
+	label := c.lookup(domain)
+	// Degraded lookups pass through: the transport never answered, so
+	// neither the flagship discard nor the validation bar applies.
+	if label == taxonomy.Uncategorized {
+		return label
+	}
 	// The two flagship categories are only trusted when manually
 	// verified; everything else the API says about them is discarded
 	// (paper: "we use only the sets of manually verified sites for

@@ -1,0 +1,80 @@
+package catapi
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"wwb/internal/chaos"
+	"wwb/internal/taxonomy"
+)
+
+// Transport is the wire-level categorisation API: the part of the
+// Section 3.2 workflow that can fail. The in-process Service never
+// does; chaos mode wraps it in a FlakyTransport so the resilient
+// client has something real to survive.
+type Transport interface {
+	Lookup(ctx context.Context, domain string) (taxonomy.Category, error)
+}
+
+// serviceTransport adapts *Service to Transport; it is infallible.
+type serviceTransport struct {
+	svc *Service
+}
+
+// NewServiceTransport wraps an in-process service as a Transport.
+func NewServiceTransport(svc *Service) Transport {
+	return serviceTransport{svc: svc}
+}
+
+func (t serviceTransport) Lookup(_ context.Context, domain string) (taxonomy.Category, error) {
+	return t.svc.Lookup(domain), nil
+}
+
+// FlakyTransport decorates a Transport with deterministic injected
+// faults. Decisions are keyed by (chaos seed, domain, attempt number),
+// where the attempt number is a per-domain counter: as long as one
+// resolver drives each domain's attempts sequentially (the resilient
+// client's single-flight memo guarantees this), the fault a given
+// attempt sees is independent of how lookups for different domains
+// interleave.
+type FlakyTransport struct {
+	next Transport
+	inj  *chaos.Injector
+	// attempts maps domain -> *atomic.Int64 attempt counters.
+	attempts sync.Map
+}
+
+// NewFlakyTransport wires an injector in front of next. A nil injector
+// yields a transparent pass-through (nil Injector injects nothing).
+func NewFlakyTransport(next Transport, inj *chaos.Injector) *FlakyTransport {
+	return &FlakyTransport{next: next, inj: inj}
+}
+
+// attempt returns the next 1-based attempt number for a domain.
+func (t *FlakyTransport) attempt(domain string) int {
+	v, ok := t.attempts.Load(domain)
+	if !ok {
+		v, _ = t.attempts.LoadOrStore(domain, new(atomic.Int64))
+	}
+	return int(v.(*atomic.Int64).Add(1))
+}
+
+// Lookup draws this attempt's fault and either fails, delays, panics,
+// or passes through to the wrapped transport.
+func (t *FlakyTransport) Lookup(ctx context.Context, domain string) (taxonomy.Category, error) {
+	f := t.inj.Decide("catapi|"+domain, t.attempt(domain))
+	switch f.Kind {
+	case chaos.Panic:
+		panic("chaos: injected categorisation stage panic for " + domain)
+	case chaos.Transient:
+		return taxonomy.Unknown, chaos.ErrTransient
+	case chaos.RateLimited:
+		return taxonomy.Unknown, &chaos.RateLimitError{RetryAfter: f.RetryAfter}
+	case chaos.Slow:
+		if err := chaos.Sleep(ctx, f.Delay); err != nil {
+			return taxonomy.Unknown, err
+		}
+	}
+	return t.next.Lookup(ctx, domain)
+}

@@ -1,0 +1,209 @@
+// Package chaos is a seed-keyed deterministic fault injector. It
+// models the transport failures the paper's categorisation workflow
+// had to survive (Section 3.2: the upstream API was unreliable) and,
+// more generally, the flaky-vantage-point reality of web measurement:
+// transient errors, rate-limit responses, added latency, and optional
+// stage panics.
+//
+// Every decision is a pure function of (seed, operation key, attempt
+// number): the injector never keeps mutable state, so concurrent
+// callers see the same fault schedule regardless of scheduling, and a
+// whole study degrades identically for a given chaos seed. A nil
+// *Injector is valid and injects nothing, which keeps the fault-free
+// fast path free of branches at call sites.
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"wwb/internal/world"
+)
+
+// Config sets the per-attempt fault probabilities. The rates are
+// evaluated in priority order (panic, error, rate limit, latency) from
+// a single uniform draw, so their sum must stay <= 1 to behave as
+// written; Enabled reports whether any fault can fire.
+type Config struct {
+	// Seed keys the fault schedule. Two injectors with the same seed
+	// and config produce identical faults for identical (op, attempt)
+	// pairs.
+	Seed uint64
+	// ErrorRate is the probability of a transient transport error.
+	ErrorRate float64
+	// RateLimitRate is the probability of a rate-limit response
+	// carrying a Retry-After hint.
+	RateLimitRate float64
+	// SlowRate is the probability of added latency; the delay is drawn
+	// deterministically in [SlowLatency/2, 3*SlowLatency/2).
+	SlowRate float64
+	// SlowLatency is the median injected delay.
+	SlowLatency time.Duration
+	// PanicRate is the probability of a stage panic (off unless set;
+	// resilient callers are expected to recover it).
+	PanicRate float64
+	// RetryAfter is the hint attached to rate-limit faults.
+	RetryAfter time.Duration
+}
+
+// Enabled reports whether the config can inject any fault at all.
+func (c Config) Enabled() bool {
+	return c.ErrorRate > 0 || c.RateLimitRate > 0 || c.SlowRate > 0 || c.PanicRate > 0
+}
+
+// Flaky is the standard one-knob chaos profile used by the -chaos-rate
+// command-line flags: rate is the total per-attempt fault probability,
+// split 60 % transient errors, 20 % rate limits, 15 % latency, and 5 %
+// panics, with sub-millisecond delays so studies stay fast under test.
+func Flaky(seed uint64, rate float64) Config {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	return Config{
+		Seed:          seed,
+		ErrorRate:     0.60 * rate,
+		RateLimitRate: 0.20 * rate,
+		SlowRate:      0.15 * rate,
+		PanicRate:     0.05 * rate,
+		SlowLatency:   200 * time.Microsecond,
+		RetryAfter:    100 * time.Microsecond,
+	}
+}
+
+// Kind identifies a fault category.
+type Kind int
+
+const (
+	// None means the call proceeds normally.
+	None Kind = iota
+	// Transient is a retryable transport error.
+	Transient
+	// RateLimited is a 429-style response with a Retry-After hint.
+	RateLimited
+	// Slow adds latency before the call succeeds.
+	Slow
+	// Panic aborts the stage with a panic.
+	Panic
+)
+
+// String names the fault kind.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Transient:
+		return "transient"
+	case RateLimited:
+		return "rate-limited"
+	case Slow:
+		return "slow"
+	case Panic:
+		return "panic"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Fault is one injected decision.
+type Fault struct {
+	Kind Kind
+	// Delay is the injected latency for Slow faults.
+	Delay time.Duration
+	// RetryAfter is the backoff hint for RateLimited faults.
+	RetryAfter time.Duration
+}
+
+// ErrTransient is the injected retryable transport error.
+var ErrTransient = errors.New("chaos: injected transient transport error")
+
+// RateLimitError is the injected 429-style response.
+type RateLimitError struct {
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *RateLimitError) Error() string {
+	return fmt.Sprintf("chaos: injected rate limit (retry after %s)", e.RetryAfter)
+}
+
+// Injector draws deterministic faults. The zero of *Injector (nil)
+// injects nothing.
+type Injector struct {
+	cfg  Config
+	root *world.RNG
+}
+
+// New builds an injector; it returns nil when the config cannot inject
+// anything, so callers can wire it unconditionally.
+func New(cfg Config) *Injector {
+	if !cfg.Enabled() {
+		return nil
+	}
+	return &Injector{cfg: cfg, root: world.NewRNG(cfg.Seed)}
+}
+
+// Decide returns the fault for one attempt of one operation. The
+// result depends only on (seed, op, attempt) — never on call order —
+// so concurrent pipelines degrade identically run over run. Attempts
+// are 1-based.
+func (in *Injector) Decide(op string, attempt int) Fault {
+	if in == nil {
+		return Fault{}
+	}
+	rng := in.root.Fork(fmt.Sprintf("%s|#%d", op, attempt))
+	u := rng.Float64()
+	c := in.cfg
+	switch {
+	case u < c.PanicRate:
+		return Fault{Kind: Panic}
+	case u < c.PanicRate+c.ErrorRate:
+		return Fault{Kind: Transient}
+	case u < c.PanicRate+c.ErrorRate+c.RateLimitRate:
+		return Fault{Kind: RateLimited, RetryAfter: c.RetryAfter}
+	case u < c.PanicRate+c.ErrorRate+c.RateLimitRate+c.SlowRate:
+		// Half to one-and-a-half times the median, deterministically.
+		d := time.Duration((0.5 + rng.Float64()) * float64(c.SlowLatency))
+		return Fault{Kind: Slow, Delay: d}
+	default:
+		return Fault{}
+	}
+}
+
+// delaysKey marks contexts whose injected delays are suppressed.
+type delaysKey struct{}
+
+// WithoutDelays returns a context under which fault injectors skip
+// Slow sleeps (the fault schedule and every outcome are unchanged —
+// only the waiting is shed). The resilient client uses it while its
+// circuit breaker is open: determinism requires the breaker to gate
+// time, never answers.
+func WithoutDelays(ctx context.Context) context.Context {
+	return context.WithValue(ctx, delaysKey{}, true)
+}
+
+// DelaysSuppressed reports whether WithoutDelays marked the context.
+func DelaysSuppressed(ctx context.Context) bool {
+	v, _ := ctx.Value(delaysKey{}).(bool)
+	return v
+}
+
+// Sleep waits for d or until the context is done, honouring
+// DelaysSuppressed; it returns the context error on cancellation.
+func Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 || DelaysSuppressed(ctx) {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,124 @@
+package chaos
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestDecideDeterministicPerSeed(t *testing.T) {
+	cfg := Flaky(7, 0.5)
+	a := New(cfg)
+	b := New(cfg)
+	for attempt := 1; attempt <= 16; attempt++ {
+		fa := a.Decide("catapi|example.com", attempt)
+		fb := b.Decide("catapi|example.com", attempt)
+		if fa != fb {
+			t.Fatalf("attempt %d: %+v != %+v", attempt, fa, fb)
+		}
+	}
+}
+
+func TestDecideIndependentOfCallOrder(t *testing.T) {
+	cfg := Flaky(7, 0.5)
+	a := New(cfg)
+	b := New(cfg)
+	// a draws ops in one order, b in the reverse; per-op faults agree.
+	ops := []string{"x", "y", "z", "w"}
+	got := map[string]Fault{}
+	for _, op := range ops {
+		got[op] = a.Decide(op, 1)
+	}
+	for i := len(ops) - 1; i >= 0; i-- {
+		if f := b.Decide(ops[i], 1); f != got[ops[i]] {
+			t.Fatalf("op %s: order-dependent fault", ops[i])
+		}
+	}
+}
+
+func TestDecideSeedsDiffer(t *testing.T) {
+	a := New(Flaky(1, 0.5))
+	b := New(Flaky(2, 0.5))
+	same := 0
+	const n = 200
+	for i := 0; i < n; i++ {
+		op := "op" + string(rune('a'+i%26)) + string(rune('0'+i%10))
+		if a.Decide(op, i%5+1).Kind == b.Decide(op, i%5+1).Kind {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("different seeds produced identical fault schedules")
+	}
+}
+
+func TestRatesRoughlyHonoured(t *testing.T) {
+	in := New(Config{Seed: 3, ErrorRate: 0.5})
+	faults := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		f := in.Decide("bulk|"+string(rune('a'+i%26))+string(rune('a'+(i/26)%26))+string(rune('a'+(i/676)%26))+string(rune('0'+i%10)), 1)
+		switch f.Kind {
+		case Transient:
+			faults++
+		case None:
+		default:
+			t.Fatalf("unexpected kind %v with only ErrorRate set", f.Kind)
+		}
+	}
+	frac := float64(faults) / n
+	if frac < 0.4 || frac > 0.6 {
+		t.Errorf("transient fraction = %.3f, want ~0.5", frac)
+	}
+}
+
+func TestNilAndDisabledInjectNothing(t *testing.T) {
+	var nilInj *Injector
+	if f := nilInj.Decide("x", 1); f.Kind != None {
+		t.Errorf("nil injector fault = %v", f.Kind)
+	}
+	if in := New(Config{Seed: 9}); in != nil {
+		t.Error("New with zero rates should return nil")
+	}
+	if (Config{}).Enabled() {
+		t.Error("zero config reports enabled")
+	}
+}
+
+func TestSlowFaultsCarryBoundedDelay(t *testing.T) {
+	in := New(Config{Seed: 11, SlowRate: 1, SlowLatency: time.Millisecond})
+	for i := 0; i < 50; i++ {
+		f := in.Decide("slow", i+1)
+		if f.Kind != Slow {
+			t.Fatalf("attempt %d: kind %v", i+1, f.Kind)
+		}
+		if f.Delay < time.Millisecond/2 || f.Delay > 3*time.Millisecond/2 {
+			t.Fatalf("delay %s out of [0.5ms, 1.5ms]", f.Delay)
+		}
+	}
+}
+
+func TestSleepHonoursSuppressionAndCancel(t *testing.T) {
+	start := time.Now()
+	if err := Sleep(WithoutDelays(context.Background()), time.Second); err != nil {
+		t.Fatalf("suppressed sleep: %v", err)
+	}
+	if time.Since(start) > 100*time.Millisecond {
+		t.Error("suppressed sleep actually slept")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Sleep(ctx, time.Second); err != context.Canceled {
+		t.Errorf("cancelled sleep err = %v", err)
+	}
+}
+
+func TestFlakyClampsRate(t *testing.T) {
+	if c := Flaky(1, -2); c.Enabled() {
+		t.Error("negative rate enabled chaos")
+	}
+	c := Flaky(1, 5)
+	if c.PanicRate+c.ErrorRate+c.RateLimitRate+c.SlowRate > 1.0001 {
+		t.Errorf("clamped rates sum to %v", c.PanicRate+c.ErrorRate+c.RateLimitRate+c.SlowRate)
+	}
+}

@@ -8,6 +8,7 @@
 package chrome
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -186,6 +187,19 @@ type cellResult struct {
 // goroutine; the assembled dataset is byte-identical for every worker
 // count.
 func Assemble(w *world.World, tcfg telemetry.Config, opts Options) *Dataset {
+	// Background contexts never cancel, so the error path is unreachable.
+	ds, err := AssembleCtx(context.Background(), w, tcfg, opts)
+	if err != nil {
+		panic("chrome: Assemble with background context failed: " + err.Error())
+	}
+	return ds
+}
+
+// AssembleCtx is the cancellable Assemble: workers stop pulling cells
+// as soon as ctx is done and the call returns the context's error with
+// a nil dataset. A nil error guarantees a complete dataset identical
+// to Assemble's for every worker count.
+func AssembleCtx(ctx context.Context, w *world.World, tcfg telemetry.Config, opts Options) (*Dataset, error) {
 	months := assembledMonths(opts)
 	ds := &Dataset{
 		Opts:     opts,
@@ -208,15 +222,19 @@ func Assemble(w *world.World, tcfg telemetry.Config, opts Options) *Dataset {
 
 	// Fan out: sample, threshold, and rank each cell independently.
 	// Fork does not mutate the parent stream, so sharing root across
-	// workers is race-free.
-	results := parallel.Map(opts.Workers, len(jobs), func(i int) cellResult {
+	// workers is race-free. Cancellation is checked between cells —
+	// cells are the pipeline's unit of promptness.
+	results, err := parallel.MapCtx(ctx, opts.Workers, len(jobs), func(_ context.Context, i int) (cellResult, error) {
 		j := jobs[i]
 		rng := root.Fork("cell|" + j.country + "|" + j.platform.String() + "|" + j.month.String())
 		stats := telemetry.SampleCell(rng, w, tcfg, telemetry.Cell{
 			Country: j.country, Platform: j.platform, Month: j.month,
 		})
-		return buildCell(opts, j, stats)
+		return buildCell(opts, j, stats), nil
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	// Fan in, in canonical cell order. The global distribution
 	// accumulators are summed one site at a time in exactly the order
@@ -249,7 +267,7 @@ func Assemble(w *world.World, tcfg telemetry.Config, opts Options) *Dataset {
 		ds.dist[distKey(p, world.PageLoads)] = NewDistCurve(values(globLoads[p]))
 		ds.dist[distKey(p, world.TimeOnPage)] = NewDistCurve(values(globTime[p]))
 	}
-	return ds
+	return ds, nil
 }
 
 // buildCell thresholds and ranks one cell's stats for both metrics.

@@ -4,6 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
+	"strconv"
+	"strings"
 
 	"wwb/internal/world"
 )
@@ -33,11 +36,19 @@ func (d *Dataset) Encode(w io.Writer) error {
 	})
 }
 
-// Decode reads a dataset previously written by Encode.
+// Decode reads a dataset previously written by Encode. The structure
+// is validated before a Dataset is returned: corrupt or truncated
+// files — malformed cell keys, rank lists that are not descending,
+// non-finite values, out-of-range coverage or distribution shares —
+// produce a descriptive error instead of a dataset that panics or
+// silently misbehaves under later queries.
 func Decode(r io.Reader) (*Dataset, error) {
 	var dj datasetJSON
 	if err := json.NewDecoder(r).Decode(&dj); err != nil {
 		return nil, fmt.Errorf("chrome: decoding dataset: %w", err)
+	}
+	if err := validateDataset(&dj); err != nil {
+		return nil, fmt.Errorf("chrome: invalid dataset: %w", err)
 	}
 	ds := &Dataset{
 		Opts:      dj.Opts,
@@ -57,4 +68,85 @@ func Decode(r io.Reader) (*Dataset, error) {
 		ds.coverage = make(map[string]float64)
 	}
 	return ds, nil
+}
+
+// parseCellKey splits and range-checks a "country|platform|metric|
+// month" list/coverage key.
+func parseCellKey(key string) error {
+	parts := strings.Split(key, "|")
+	if len(parts) != 4 {
+		return fmt.Errorf("cell key %q: want country|platform|metric|month", key)
+	}
+	if parts[0] == "" {
+		return fmt.Errorf("cell key %q: empty country", key)
+	}
+	p, err := strconv.Atoi(parts[1])
+	if err != nil || p < int(world.Windows) || p > int(world.Android) {
+		return fmt.Errorf("cell key %q: bad platform %q", key, parts[1])
+	}
+	m, err := strconv.Atoi(parts[2])
+	if err != nil || m < int(world.PageLoads) || m > int(world.TimeOnPage) {
+		return fmt.Errorf("cell key %q: bad metric %q", key, parts[2])
+	}
+	mo, err := strconv.Atoi(parts[3])
+	if err != nil || mo < 0 || mo >= world.NumMonths {
+		return fmt.Errorf("cell key %q: bad month %q", key, parts[3])
+	}
+	return nil
+}
+
+// validateDataset checks every invariant an assembled dataset holds,
+// so decoded files behave like assembled ones.
+func validateDataset(dj *datasetJSON) error {
+	for _, m := range dj.Months {
+		if m < 0 || m >= world.NumMonths {
+			return fmt.Errorf("month %d out of range", int(m))
+		}
+	}
+	for key, list := range dj.Lists {
+		if err := parseCellKey(key); err != nil {
+			return err
+		}
+		prev := math.Inf(1)
+		for i, e := range list {
+			if e.Domain == "" {
+				return fmt.Errorf("list %q entry %d: empty domain", key, i)
+			}
+			if math.IsNaN(e.Value) || math.IsInf(e.Value, 0) || e.Value < 0 {
+				return fmt.Errorf("list %q entry %d (%s): bad value %v", key, i, e.Domain, e.Value)
+			}
+			if e.Value > prev {
+				return fmt.Errorf("list %q entry %d (%s): values not descending (%v after %v)", key, i, e.Domain, e.Value, prev)
+			}
+			prev = e.Value
+		}
+	}
+	for key, cov := range dj.Coverage {
+		if err := parseCellKey(key); err != nil {
+			return err
+		}
+		if math.IsNaN(cov) || cov < 0 || cov > 1 {
+			return fmt.Errorf("coverage %q: %v outside [0,1]", key, cov)
+		}
+	}
+	for key, curve := range dj.Dist {
+		parts := strings.Split(key, "|")
+		if len(parts) != 2 {
+			return fmt.Errorf("dist key %q: want platform|metric", key)
+		}
+		if curve == nil {
+			return fmt.Errorf("dist %q: null curve", key)
+		}
+		prev := math.Inf(1)
+		for i, s := range curve.Shares {
+			if math.IsNaN(s) || s < 0 || s > 1 {
+				return fmt.Errorf("dist %q share %d: %v outside [0,1]", key, i, s)
+			}
+			if s > prev {
+				return fmt.Errorf("dist %q share %d: shares not descending (%v after %v)", key, i, s, prev)
+			}
+			prev = s
+		}
+	}
+	return nil
 }

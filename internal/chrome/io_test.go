@@ -1,0 +1,92 @@
+package chrome
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"wwb/internal/world"
+)
+
+// corruptCases are decodable JSON documents that violate a dataset
+// invariant; Decode must reject every one with a descriptive error.
+var corruptCases = map[string]string{
+	"malformed cell key": `{"lists":{"US|0|0":[]}}`,
+	"empty country":      `{"lists":{"|0|0|5":[]}}`,
+	"bad platform":       `{"lists":{"US|7|0|5":[]}}`,
+	"bad metric":         `{"lists":{"US|0|9|5":[]}}`,
+	"bad month":          `{"lists":{"US|0|0|99":[]}}`,
+	"non-numeric key":    `{"lists":{"US|x|0|5":[]}}`,
+	"empty domain":       `{"lists":{"US|0|0|5":[{"domain":"","value":1}]}}`,
+	"negative value":     `{"lists":{"US|0|0|5":[{"domain":"a.com","value":-1}]}}`,
+	"NaN-ish value":      `{"lists":{"US|0|0|5":[{"domain":"a.com","value":1e999}]}}`,
+	"ascending values":   `{"lists":{"US|0|0|5":[{"domain":"a.com","value":1},{"domain":"b.com","value":2}]}}`,
+	"coverage above 1":   `{"coverage":{"US|0|0|5":1.5}}`,
+	"coverage below 0":   `{"coverage":{"US|0|0|5":-0.1}}`,
+	"month out of range": `{"months":[99]}`,
+	"bad dist key":       `{"dist":{"0":{"shares":[]}}}`,
+	"null dist curve":    `{"dist":{"0|0":null}}`,
+	"dist share above 1": `{"dist":{"0|0":{"shares":[1.5]}}}`,
+	"ascending shares":   `{"dist":{"0|0":{"shares":[0.1,0.2]}}}`,
+}
+
+func TestDecodeRejectsCorruptDatasets(t *testing.T) {
+	for name, doc := range corruptCases {
+		// 1e999 is rejected by the JSON decoder itself; everything else
+		// by the validator. Either way the caller gets a clear error.
+		if _, err := Decode(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: Decode accepted %s", name, doc)
+		}
+	}
+}
+
+func TestDecodeRejectsTruncatedFile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := testDataset.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	half := buf.Bytes()[:buf.Len()/2]
+	if _, err := Decode(bytes.NewReader(half)); err == nil {
+		t.Error("Decode accepted a truncated file")
+	}
+}
+
+// FuzzDecode feeds arbitrary bytes through Decode: it must either
+// reject them with an error or return a dataset whose query surface
+// (List, Coverage, Dist, Index) can be exercised without panicking.
+func FuzzDecode(f *testing.F) {
+	var valid bytes.Buffer
+	if err := testDataset.Encode(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:valid.Len()/3])
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"lists":{"US|0|0|5":[{"domain":"a.com","value":2},{"domain":"b.com","value":1}]},"countries":["US"]}`))
+	f.Add([]byte(`{"lists":{"US|0|0":[]}}`))
+	f.Add([]byte(`garbage`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ds, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return // rejected: that's a valid outcome for arbitrary bytes
+		}
+		// Accepted: the dataset must be safely queryable.
+		for _, c := range append(ds.Countries, "US", "") {
+			l := ds.List(c, world.Windows, world.PageLoads, world.Feb2022)
+			_ = l.TopN(10)
+			_ = l.Rank("a.com")
+			_ = ds.Coverage(c, world.Windows, world.PageLoads, world.Feb2022)
+		}
+		if curve := ds.Dist(world.Windows, world.PageLoads); curve != nil {
+			_ = curve.CumShare(10)
+			_ = curve.WeightAt(1)
+			_ = curve.SitesForShare(0.5)
+		}
+		ix := ds.Index()
+		if id, ok := ix.ID("a"); ok {
+			_ = ix.Rank("US", world.Windows, world.PageLoads, world.Feb2022, id)
+		}
+	})
+}

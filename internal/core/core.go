@@ -7,11 +7,13 @@
 package core
 
 import (
+	"context"
 	"strconv"
 	"sync"
 
 	"wwb/internal/analysis"
 	"wwb/internal/catapi"
+	"wwb/internal/chaos"
 	"wwb/internal/chrome"
 	"wwb/internal/taxonomy"
 	"wwb/internal/telemetry"
@@ -31,6 +33,18 @@ type Config struct {
 	// parallel analyses: 0 (the default) means one per CPU, 1 forces
 	// the sequential path. Results are identical for every value.
 	Workers int
+	// Chaos injects deterministic transport faults into the
+	// categorisation path (see internal/chaos). The zero value is off:
+	// study output is then byte-identical to a build without the fault
+	// machinery. With faults on, degraded domains surface as
+	// taxonomy.Uncategorized, deterministically per chaos seed.
+	Chaos chaos.Config
+	// Retry tunes the resilient categorisation client; zero-value
+	// fields fall back to catapi.DefaultRetryPolicy.
+	Retry catapi.RetryPolicy
+	// Breaker tunes the client's circuit breaker; zero-value fields
+	// fall back to catapi.DefaultBreakerConfig.
+	Breaker catapi.BreakerConfig
 }
 
 // DefaultConfig is the full-size calibrated study.
@@ -67,6 +81,10 @@ type Study struct {
 	Service     *catapi.Service
 	Validation  *catapi.Validation
 	Categorizer *catapi.Categorizer
+	// Client is the resilient categorisation client behind the
+	// Categorizer: retries, backoff, circuit breaker, degradation.
+	// Its Stats expose how much chaos the study absorbed.
+	Client *catapi.Client
 
 	// Month is the analysis month (the paper uses February 2022).
 	Month world.Month
@@ -77,12 +95,34 @@ type Study struct {
 
 // New runs the pipeline end to end.
 func New(cfg Config) *Study {
+	// Background contexts never cancel, so the error path is unreachable.
+	s, err := NewCtx(context.Background(), cfg)
+	if err != nil {
+		panic("core: New with background context failed: " + err.Error())
+	}
+	return s
+}
+
+// NewCtx runs the pipeline end to end under a context: cancelling it
+// mid-assembly (the dominant cost) returns promptly with the context
+// error and no study. A nil error guarantees a study identical to
+// New's.
+func NewCtx(ctx context.Context, cfg Config) (*Study, error) {
 	if cfg.Chrome.Workers == 0 {
 		cfg.Chrome.Workers = cfg.Workers
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	w := world.Generate(cfg.World)
-	ds := chrome.Assemble(w, cfg.Telemetry, cfg.Chrome)
+	ds, err := chrome.AssembleCtx(ctx, w, cfg.Telemetry, cfg.Chrome)
+	if err != nil {
+		return nil, err
+	}
 	svc := catapi.NewService(w, cfg.CatAPI)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	validation := catapi.Validate(svc, cfg.SamplesPerCategory)
 
 	// Manual verification pass (Section 3.2): the authors verified
@@ -109,16 +149,27 @@ func New(cfg Config) *Study {
 		verified[d] = c
 	}
 
+	// The categorisation serving path always runs through the
+	// resilient client; with chaos off the transport is infallible and
+	// the client is a transparent memoized pass-through, so labels are
+	// byte-identical to the direct service path.
+	transport := catapi.NewServiceTransport(svc)
+	if inj := chaos.New(cfg.Chaos); inj != nil {
+		transport = catapi.NewFlakyTransport(transport, inj)
+	}
+	client := catapi.NewClient(transport, cfg.Retry, catapi.NewBreaker(cfg.Breaker))
+
 	return &Study{
 		Cfg:         cfg,
 		World:       w,
 		Dataset:     ds,
 		Service:     svc,
 		Validation:  validation,
-		Categorizer: catapi.NewCategorizer(svc, validation, verified),
+		Categorizer: catapi.NewCategorizerFunc(client.LookupFunc(), validation, verified),
+		Client:      client,
 		Month:       month,
 		cache:       map[string]*memoEntry{},
-	}
+	}, nil
 }
 
 // Categorize maps a domain to its study category.

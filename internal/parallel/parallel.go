@@ -8,6 +8,7 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -94,4 +95,115 @@ func Map[T any](workers, n int, fn func(i int) T) []T {
 		out[i] = fn(i)
 	})
 	return out
+}
+
+// ForEachCtx is the cancellable, error-propagating ForEach. Workers
+// stop pulling new indices as soon as the context is done or any fn
+// returns a non-nil error; in-flight calls are allowed to finish, so
+// cancellation never abandons a half-executed item. The derived
+// context passed to fn is cancelled on the first error, letting slow
+// items bail out cooperatively.
+//
+// The returned error is the first one recorded (cancellation makes
+// later items moot), or the context's error when cancellation stopped
+// the loop before every item ran. A nil return guarantees fn ran to
+// completion for every index. Panics still take the ForEach path:
+// first panic wins, remaining in-flight work finishes, and the panic
+// is re-raised on the caller with the worker stack — a panic beats any
+// error.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := cctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(cctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next      atomic.Int64
+		completed atomic.Int64
+		wg        sync.WaitGroup
+		errOnce   sync.Once
+		firstErr  error
+		panicOnce sync.Once
+		panicked  error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if cctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							stack := debug.Stack()
+							panicOnce.Do(func() {
+								panicked = fmt.Errorf("parallel: worker panic on item %d: %v\n%s", i, r, stack)
+								cancel()
+							})
+						}
+					}()
+					if err := fn(cctx, i); err != nil {
+						errOnce.Do(func() {
+							firstErr = err
+							cancel()
+						})
+						return
+					}
+					completed.Add(1)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	if int(completed.Load()) < n {
+		// Cancellation stopped the loop before every item ran.
+		return ctx.Err()
+	}
+	return nil
+}
+
+// MapCtx is the cancellable, error-propagating Map: results land in
+// index-order slots and the output is identical for any worker count.
+// On error or cancellation the partially filled slice is returned
+// alongside the error; callers must treat it as incomplete.
+func MapCtx[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEachCtx(ctx, workers, n, func(ctx context.Context, i int) error {
+		v, err := fn(ctx, i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	return out, err
 }

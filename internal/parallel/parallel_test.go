@@ -1,8 +1,11 @@
 package parallel
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -76,6 +79,133 @@ func TestForEachPropagatesPanic(t *testing.T) {
 			panic("boom")
 		}
 	})
+}
+
+func TestForEachCtxCompletesWithoutError(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		const n = 300
+		counts := make([]atomic.Int32, n)
+		err := ForEachCtx(context.Background(), workers, n, func(_ context.Context, i int) error {
+			counts[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachCtxPropagatesFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int32
+		err := ForEachCtx(context.Background(), workers, 10000, func(_ context.Context, i int) error {
+			ran.Add(1)
+			if i == 5 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want boom", workers, err)
+		}
+		if n := ran.Load(); n == 10000 {
+			t.Errorf("workers=%d: error did not stop the loop early (ran all %d items)", workers, n)
+		}
+	}
+}
+
+func TestForEachCtxErrorCancelsDerivedContext(t *testing.T) {
+	boom := errors.New("boom")
+	sawCancel := make(chan struct{})
+	var barrier sync.WaitGroup
+	barrier.Add(2)
+	// The barrier guarantees both items are in flight before item 0
+	// errors, so item 1 reliably witnesses the resulting cancellation.
+	err := ForEachCtx(context.Background(), 2, 2, func(ctx context.Context, i int) error {
+		barrier.Done()
+		barrier.Wait()
+		if i == 0 {
+			return boom
+		}
+		<-ctx.Done()
+		close(sawCancel)
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	select {
+	case <-sawCancel:
+	default:
+		t.Error("sibling item never observed cancellation")
+	}
+}
+
+func TestForEachCtxHonoursPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int32
+		err := ForEachCtx(ctx, workers, 1000, func(_ context.Context, _ int) error {
+			ran.Add(1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if n := ran.Load(); n == 1000 {
+			t.Errorf("workers=%d: cancelled loop still ran every item", workers)
+		}
+	}
+}
+
+func TestForEachCtxPanicBeatsError(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic did not propagate")
+		}
+		if msg, ok := r.(error); !ok || !strings.Contains(msg.Error(), "kaboom") {
+			t.Fatalf("unexpected panic payload: %v", r)
+		}
+	}()
+	// Two workers, two items, and a barrier that forces both items to
+	// be in flight before either resolves: one panics, one errors, and
+	// the panic must win regardless of which lands first.
+	var barrier sync.WaitGroup
+	barrier.Add(2)
+	_ = ForEachCtx(context.Background(), 2, 2, func(_ context.Context, i int) error {
+		barrier.Done()
+		barrier.Wait()
+		if i == 0 {
+			panic("kaboom")
+		}
+		return errors.New("also failing")
+	})
+}
+
+func TestMapCtxMatchesMap(t *testing.T) {
+	const n = 400
+	want := Map(1, n, func(i int) int { return i * 3 })
+	for _, workers := range []int{1, 2, 8} {
+		got, err := MapCtx(context.Background(), workers, n, func(_ context.Context, i int) (int, error) {
+			return i * 3, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
 }
 
 func TestForEachPanicStillCompletesOtherItems(t *testing.T) {

@@ -103,6 +103,13 @@ const (
 	// Unknown.
 	Unknown Category = "Unknown"
 
+	// Uncategorized is the degraded-path label: the resilient catapi
+	// client returns it when the categorisation transport stays
+	// unavailable past the retry budget (chaos mode). It is
+	// deliberately not part of Table 3 or All() — with faults disabled
+	// it never appears, keeping fault-free output byte-identical.
+	Uncategorized Category = "Uncategorized"
+
 	// Manually verified categories (Section 3.2): the Cloudflare API's
 	// labels for these were below the 80% accuracy bar, so the authors
 	// use hand-verified site sets instead. They are not part of
