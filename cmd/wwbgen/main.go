@@ -13,8 +13,10 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"wwb/internal/chrome"
+	"wwb/internal/metrics"
 	"wwb/internal/telemetry"
 	"wwb/internal/world"
 )
@@ -52,9 +54,14 @@ func main() {
 	}
 
 	log.Printf("generating %s universe (seed %d)...", *scale, *seed)
+	genStart := time.Now()
 	w := world.Generate(wcfg)
+	metrics.ObserveStage("world.generate", time.Since(genStart))
 	log.Printf("%d sites; assembling dataset...", len(w.Sites()))
 	ds := chrome.Assemble(w, telemetry.DefaultConfig(), opts)
+	if summary := metrics.StageSummary(); summary != "" {
+		log.Printf("stage timings:\n%s", summary)
+	}
 
 	var f *os.File
 	if *out == "-" {

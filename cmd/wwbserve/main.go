@@ -7,13 +7,19 @@
 // Endpoints:
 //
 //	GET /healthz
+//	GET /metrics
+//	GET /debug/pprof/  (only with -pprof)
 //	GET /v1/countries
 //	GET /v1/list?country=US&platform=windows&metric=loads&month=2022-02&n=100
 //	GET /v1/dist?platform=windows&metric=loads&n=1000
-//	GET /v1/site?domain=google.com
+//	GET /v1/site?domain=google.com&platform=windows&metric=loads&month=2022-02
 //	GET /v1/crux?country=US
 //	GET /v1/experiments
 //	GET /v1/experiment/{id}
+//
+// /healthz, /metrics, and /debug/pprof are exempt from the in-flight
+// limiter and the per-request timeout: they must answer precisely
+// when the server is saturated.
 package main
 
 import (
@@ -31,6 +37,7 @@ import (
 	"wwb/internal/chaos"
 	"wwb/internal/chrome"
 	"wwb/internal/core"
+	"wwb/internal/metrics"
 	"wwb/internal/world"
 )
 
@@ -49,6 +56,7 @@ func main() {
 		reqTimeout  = flag.Duration("request-timeout", time.Minute, "per-request context deadline (0 = none)")
 		chaosSeed   = flag.Uint64("chaos-seed", 0, "fault-injection seed for the categorisation transport (only with -chaos-rate > 0)")
 		chaosRate   = flag.Float64("chaos-rate", 0, "fault-injection rate in [0,1] for the categorisation transport; 0 disables chaos")
+		pprofFlag   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (exempt from limiter and timeout)")
 	)
 	flag.Parse()
 
@@ -75,7 +83,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	mcfg := middlewareConfig{MaxInFlight: *maxInFlight, RequestTimeout: *reqTimeout}
+	mcfg := middlewareConfig{MaxInFlight: *maxInFlight, RequestTimeout: *reqTimeout, Pprof: *pprofFlag}
 	var handler http.Handler
 	if *data != "" {
 		f, err := os.Open(*data)
@@ -97,6 +105,9 @@ func main() {
 		study, err := core.NewCtx(ctx, cfg)
 		if err != nil {
 			log.Fatalf("assembly aborted: %v", err)
+		}
+		if summary := metrics.StageSummary(); summary != "" {
+			log.Printf("assembly stage timings:\n%s", summary)
 		}
 		log.Printf("study ready; serving on http://%s", *addr)
 		handler = newServer(study).routes(mcfg)

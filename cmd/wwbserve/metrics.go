@@ -1,0 +1,79 @@
+package main
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"wwb/internal/metrics"
+)
+
+// HTTP-layer metrics, exposed on GET /metrics. Routes are labelled by
+// pattern, not raw path, so cardinality stays bounded no matter what
+// clients request.
+var (
+	mHTTPRequests = metrics.Default.CounterVec(
+		"http_requests_total",
+		"HTTP requests served, by route pattern and status class.",
+		"route", "class")
+	mHTTPDuration = metrics.Default.HistogramVec(
+		"http_request_duration_seconds",
+		"HTTP request handling latency by route pattern.",
+		metrics.DefBuckets,
+		"route")
+	mHTTPInFlight = metrics.Default.Gauge(
+		"http_in_flight",
+		"Requests currently inside the middleware stack.")
+	mHTTPSheds = metrics.Default.Counter(
+		"http_sheds_total",
+		"Requests shed with 503 by the in-flight limiter.")
+	mHTTPPanics = metrics.Default.Counter(
+		"http_panics_total",
+		"Handler panics converted to JSON 500 responses.")
+)
+
+// routeLabel maps a request to its route pattern for metric labels.
+// Unknown paths collapse into "other" so a path-scanning client
+// cannot blow up series cardinality.
+func routeLabel(r *http.Request) string {
+	p := r.URL.Path
+	switch p {
+	case "/healthz", "/metrics",
+		"/v1/countries", "/v1/list", "/v1/dist", "/v1/site", "/v1/crux", "/v1/experiments":
+		return p
+	}
+	switch {
+	case strings.HasPrefix(p, "/v1/experiment/"):
+		return "/v1/experiment/{id}"
+	case strings.HasPrefix(p, "/debug/pprof"):
+		return "/debug/pprof"
+	default:
+		return "other"
+	}
+}
+
+// statusClass buckets a status code into 2xx/3xx/4xx/5xx.
+func statusClass(status int) string {
+	return strconv.Itoa(status/100) + "xx"
+}
+
+// instrumentRequests records the per-route request counter, latency
+// histogram, and the in-flight gauge. It sits outside the recovery
+// and shedding layers so panic 500s and limiter 503s are counted like
+// any other response.
+func instrumentRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		route := routeLabel(r)
+		mHTTPInFlight.Inc()
+		defer mHTTPInFlight.Dec()
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		mHTTPRequests.With(route, statusClass(rec.status)).Inc()
+		mHTTPDuration.With(route).Observe(time.Since(start).Seconds())
+	})
+}

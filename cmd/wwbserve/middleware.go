@@ -2,9 +2,11 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
+	"strings"
 	"sync/atomic"
 	"time"
 )
@@ -18,6 +20,21 @@ type middlewareConfig struct {
 	// RequestTimeout bounds one request's handling via its context.
 	// 0 means no per-request deadline.
 	RequestTimeout time.Duration
+	// Pprof mounts net/http/pprof under /debug/pprof/ (off by
+	// default: profiling endpoints are opt-in).
+	Pprof bool
+}
+
+// opsExempt reports whether a request bypasses the in-flight limiter
+// and the per-request timeout. Health checks must answer 200 on a
+// merely-busy server — a load balancer that gets a shed 503 from
+// /healthz would evict a healthy instance — and the observability
+// endpoints (/metrics scrapes, pprof profiles that legitimately run
+// for 30s) are exactly what an operator needs while the server is
+// saturated.
+func opsExempt(r *http.Request) bool {
+	p := r.URL.Path
+	return p == "/healthz" || p == "/metrics" || strings.HasPrefix(p, "/debug/pprof")
 }
 
 // statusRecorder wraps a ResponseWriter to capture the status code and
@@ -67,15 +84,17 @@ func requestID(ctx context.Context) string {
 
 // withMiddleware wraps the route mux in the hardening stack, outermost
 // first: request-ID assignment, request logging (status, bytes,
-// duration), panic recovery, the in-flight limiter, and the
-// per-request timeout. Ordering matters — the logger sits outside
-// recovery and the limiter so 500s and 503s appear in the log with
-// their request ID.
+// duration), metrics instrumentation, panic recovery, the in-flight
+// limiter, and the per-request timeout. Ordering matters — the logger
+// and the instrumentation sit outside recovery and the limiter so
+// 500s and 503s appear in the log and the counters with their final
+// status.
 func withMiddleware(next http.Handler, cfg middlewareConfig) http.Handler {
 	h := next
 	h = timeoutRequests(h, cfg.RequestTimeout)
 	h = limitInFlight(h, cfg.MaxInFlight)
 	h = recoverPanics(h)
+	h = instrumentRequests(h)
 	h = logRequests(h)
 	h = assignRequestID(h)
 	return h
@@ -113,10 +132,20 @@ func logRequests(next http.Handler) http.Handler {
 // raw stack trace as the only evidence). The response is best-effort:
 // if the handler already wrote a partial body, the envelope is
 // appended, but the connection survives either way.
+//
+// http.ErrAbortHandler is re-raised untouched: it is the stdlib's
+// sentinel for "abort this response and drop the connection" (e.g. a
+// reverse proxy whose client went away), and converting it to a JSON
+// 500 would turn a deliberate abort into a bogus success-looking
+// response on a connection the handler wanted dead.
 func recoverPanics(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if v := recover(); v != nil {
+				if err, ok := v.(error); ok && errors.Is(err, http.ErrAbortHandler) {
+					panic(v)
+				}
+				mHTTPPanics.Inc()
 				log.Printf("panic serving %s %s (%s): %v", r.Method, r.URL, requestID(r.Context()), v)
 				httpError(w, http.StatusInternalServerError, "internal error (request %s)", requestID(r.Context()))
 			}
@@ -127,18 +156,26 @@ func recoverPanics(next http.Handler) http.Handler {
 
 // limitInFlight sheds load once max requests are already being served:
 // excess requests get an immediate 503 with Retry-After instead of
-// queueing behind a saturated server. max <= 0 disables the limiter.
+// queueing behind a saturated server. Requests opsExempt recognises
+// (health checks, metrics scrapes, pprof) bypass the limiter: they
+// must keep answering precisely when the server is saturated.
+// max <= 0 disables the limiter.
 func limitInFlight(next http.Handler, max int) http.Handler {
 	if max <= 0 {
 		return next
 	}
 	sem := make(chan struct{}, max)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if opsExempt(r) {
+			next.ServeHTTP(w, r)
+			return
+		}
 		select {
 		case sem <- struct{}{}:
 			defer func() { <-sem }()
 			next.ServeHTTP(w, r)
 		default:
+			mHTTPSheds.Inc()
 			w.Header().Set("Retry-After", "1")
 			httpError(w, http.StatusServiceUnavailable, "server at capacity (%d in flight)", max)
 		}
@@ -147,12 +184,17 @@ func limitInFlight(next http.Handler, max int) http.Handler {
 
 // timeoutRequests derives a deadline onto every request's context so
 // context-aware work started by a handler is abandoned when the
-// request has taken too long. d <= 0 disables the deadline.
+// request has taken too long. Ops endpoints are exempt (a pprof CPU
+// profile legitimately takes 30s). d <= 0 disables the deadline.
 func timeoutRequests(next http.Handler, d time.Duration) http.Handler {
 	if d <= 0 {
 		return next
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if opsExempt(r) {
+			next.ServeHTTP(w, r)
+			return
+		}
 		ctx, cancel := context.WithTimeout(r.Context(), d)
 		defer cancel()
 		next.ServeHTTP(w, r.WithContext(ctx))

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -14,6 +15,7 @@ import (
 	"wwb/internal/crux"
 	"wwb/internal/endemicity"
 	"wwb/internal/experiments"
+	"wwb/internal/metrics"
 	"wwb/internal/psl"
 	"wwb/internal/world"
 )
@@ -27,18 +29,28 @@ type server struct {
 	ds     *chrome.Dataset
 	month  world.Month
 	runner experiments.Runner
-	// cruxRecords are computed lazily on first request.
-	cruxOnce    sync.Once
+	// cruxExport computes the public records (a field so tests can
+	// inject a failing first attempt). cruxRecords are computed lazily
+	// on first request; a failed export is NOT cached — the next
+	// request retries — so a one-off panic (e.g. under chaos) cannot
+	// poison the endpoint for the life of the process.
+	cruxExport  func(*chrome.Dataset, world.Month) []crux.Record
+	cruxMu      sync.Mutex
+	cruxReady   bool
 	cruxRecords []crux.Record
 }
 
 func newServer(s *core.Study) *server {
-	return &server{study: s, ds: s.Dataset, month: s.Month, runner: experiments.Runner{Study: s}}
+	return &server{
+		study: s, ds: s.Dataset, month: s.Month,
+		runner:     experiments.Runner{Study: s},
+		cruxExport: crux.Export,
+	}
 }
 
 // newDatasetServer serves a bare dataset.
 func newDatasetServer(ds *chrome.Dataset) *server {
-	return &server{ds: ds, month: ds.Opts.DistMonth}
+	return &server{ds: ds, month: ds.Opts.DistMonth, cruxExport: crux.Export}
 }
 
 // categorize labels a domain when a study is available.
@@ -55,6 +67,17 @@ func (s *server) categorize(domain string) string {
 func (s *server) routes(mcfg middlewareConfig) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.Handle("GET /metrics", metrics.Handler(metrics.Default))
+	if mcfg.Pprof {
+		// Opt-in profiling endpoints; opsExempt keeps them outside the
+		// limiter and the per-request timeout so a 30s CPU profile of a
+		// saturated server actually completes.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("GET /v1/countries", s.handleCountries)
 	mux.HandleFunc("GET /v1/list", s.handleList)
 	mux.HandleFunc("GET /v1/dist", s.handleDist)
@@ -127,6 +150,24 @@ func parseMetric(v string) (world.Metric, error) {
 	default:
 		return 0, fmt.Errorf("unknown metric %q (want loads or time)", v)
 	}
+}
+
+// platformParam renders a platform as its canonical query value, the
+// inverse of parsePlatform.
+func platformParam(p world.Platform) string {
+	if p == world.Android {
+		return "android"
+	}
+	return "windows"
+}
+
+// metricParam renders a metric as its canonical query value, the
+// inverse of parseMetric.
+func metricParam(m world.Metric) string {
+	if m == world.TimeOnPage {
+		return "time"
+	}
+	return "loads"
 }
 
 // parseMonth maps "2021-09".."2022-02" to months; empty means the
@@ -243,10 +284,31 @@ func (s *server) handleDist(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleSite serves a per-site popularity profile. Besides the
+// required ?domain, it honours the same optional query params as the
+// other endpoints: ?platform= (windows|android), ?metric=
+// (loads|time), and ?month= (2021-09 … 2022-02, defaulting to the
+// analysis month).
 func (s *server) handleSite(w http.ResponseWriter, r *http.Request) {
-	domain := r.URL.Query().Get("domain")
+	q := r.URL.Query()
+	domain := q.Get("domain")
 	if domain == "" {
 		httpError(w, http.StatusBadRequest, "missing domain parameter")
+		return
+	}
+	p, err := parsePlatform(q.Get("platform"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	m, err := parseMetric(q.Get("metric"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	month, err := s.parseMonth(q.Get("month"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	key := psl.Default.SiteKey(domain)
@@ -255,7 +317,7 @@ func (s *server) handleSite(w http.ResponseWriter, r *http.Request) {
 	ix := s.ds.Index()
 	if id, ok := ix.ID(key); ok {
 		for _, c := range codes {
-			if rank := ix.Rank(c, world.Windows, world.PageLoads, s.month, id); rank > 0 {
+			if rank := ix.Rank(c, p, m, month, id); rank > 0 {
 				ranks[c] = rank
 			}
 		}
@@ -264,6 +326,9 @@ func (s *server) handleSite(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"domain":     domain,
 		"key":        key,
+		"platform":   platformParam(p),
+		"metric":     metricParam(m),
+		"month":      month.String(),
 		"category":   s.categorize(domain),
 		"countries":  len(ranks),
 		"ranks":      ranks,
@@ -281,10 +346,33 @@ func (s *server) handleCrux(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.cruxOnce.Do(func() {
-		s.cruxRecords = crux.Export(s.ds, s.month)
-	})
-	writeJSON(w, http.StatusOK, crux.Filter(s.cruxRecords, country))
+	recs, err := s.cruxData()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "crux export failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, crux.Filter(recs, country))
+}
+
+// cruxData lazily computes the public records once and caches only a
+// successful result. The old sync.Once version cached whatever the
+// first attempt did — a panic inside the export (possible under
+// chaos) left the endpoint permanently broken; now the failure is
+// reported and the next request recomputes.
+func (s *server) cruxData() (recs []crux.Record, err error) {
+	s.cruxMu.Lock()
+	defer s.cruxMu.Unlock()
+	if s.cruxReady {
+		return s.cruxRecords, nil
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			recs, err = nil, fmt.Errorf("%v", v)
+		}
+	}()
+	recs = s.cruxExport(s.ds, s.month)
+	s.cruxRecords, s.cruxReady = recs, true
+	return recs, nil
 }
 
 func (s *server) handleExperiments(w http.ResponseWriter, _ *http.Request) {

@@ -8,7 +8,9 @@ import (
 	"strings"
 	"testing"
 
+	"wwb/internal/chrome"
 	"wwb/internal/core"
+	"wwb/internal/crux"
 	"wwb/internal/world"
 )
 
@@ -156,6 +158,101 @@ func TestSiteEndpoint(t *testing.T) {
 	resp, _ = get(t, "/v1/site")
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("missing domain: status %d", resp.StatusCode)
+	}
+}
+
+func TestSiteEndpointHonoursParams(t *testing.T) {
+	// /v1/site used to hard-code Windows/PageLoads and silently ignore
+	// the platform/metric/month params every other endpoint honours.
+	resp, body := get(t, "/v1/site?domain=google.com&platform=android&metric=time")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Platform string `json:"platform"`
+		Metric   string `json:"metric"`
+		Month    string `json:"month"`
+		Ranks    map[string]int
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Platform != "android" || out.Metric != "time" {
+		t.Errorf("echoed platform/metric = %q/%q, want android/time", out.Platform, out.Metric)
+	}
+	if out.Month != testStudyForDataset.Month.String() {
+		t.Errorf("default month = %q, want %q", out.Month, testStudyForDataset.Month)
+	}
+	// The ranks must come from the requested cell, not the hard-coded
+	// one: spot-check one country against the dataset directly.
+	list := testStudyForDataset.Dataset.List("US", world.Android, world.TimeOnPage, testStudyForDataset.Month)
+	if want := list.Rank("google.us"); want > 0 && out.Ranks["US"] != want {
+		t.Errorf("US android/time rank = %d, want %d", out.Ranks["US"], want)
+	}
+
+	for _, path := range []string{
+		"/v1/site?domain=google.com&platform=ios",
+		"/v1/site?domain=google.com&metric=clicks",
+		"/v1/site?domain=google.com&month=2020-01",
+	} {
+		resp, _ := get(t, path)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestCruxRecoversFromFailedFirstExport(t *testing.T) {
+	// The old sync.Once lazy init cached a panicking first attempt
+	// forever; a single chaos-induced failure poisoned the endpoint
+	// for the life of the process. Now the failure is reported and the
+	// next request retries.
+	srv := newServer(testStudyForDataset)
+	calls := 0
+	srv.cruxExport = func(ds *chrome.Dataset, m world.Month) []crux.Record {
+		calls++
+		if calls == 1 {
+			panic("chaos: injected export failure")
+		}
+		return crux.Export(ds, m)
+	}
+	ts := httptest.NewServer(srv.routes(middlewareConfig{}))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/crux?country=US")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("first request: status %d, want 500", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/crux?country=US")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second request: status %d, want 200 (body %s)", resp.StatusCode, body)
+	}
+	var recs []crux.Record
+	if err := json.Unmarshal(body, &recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Error("second request returned no records")
+	}
+	if calls != 2 {
+		t.Errorf("export calls = %d, want 2 (one failure, one success)", calls)
+	}
+
+	// A third request must hit the cache, not recompute.
+	resp, _ = http.Get(ts.URL + "/v1/crux?country=US")
+	resp.Body.Close()
+	if calls != 2 {
+		t.Errorf("export calls after cache hit = %d, want 2", calls)
 	}
 }
 

@@ -19,8 +19,18 @@ import (
 	"wwb/internal/chaos"
 	"wwb/internal/core"
 	"wwb/internal/experiments"
+	"wwb/internal/metrics"
 	"wwb/internal/world"
 )
+
+// logStageSummary prints the pipeline stage-timing table to stderr
+// (via log), keeping stdout experiment output byte-identical with
+// instrumentation on.
+func logStageSummary() {
+	if summary := metrics.StageSummary(); summary != "" {
+		log.Printf("stage timings:\n%s", summary)
+	}
+}
 
 func main() {
 	log.SetFlags(0)
@@ -71,6 +81,7 @@ func main() {
 		}
 		log.Printf("sweeping %d seeds at %s scale...", *robustness, *scale)
 		fmt.Print(experiments.RenderRobustness(experiments.RobustnessSweep(cfg, seeds)))
+		logStageSummary()
 		return
 	}
 
@@ -80,6 +91,7 @@ func main() {
 	}
 	study := core.New(cfg)
 	runner := experiments.Runner{Study: study}
+	defer logStageSummary()
 	if cfg.Chaos.Enabled() {
 		// Surface how much injected fault traffic the study absorbed.
 		defer func() { log.Printf("chaos stats: %+v", study.Client.Stats()) }()
@@ -100,6 +112,8 @@ func main() {
 		fmt.Println(out)
 	}
 	if failed {
+		// os.Exit skips deferred calls; print the table first.
+		logStageSummary()
 		os.Exit(1)
 	}
 }

@@ -89,6 +89,7 @@ func (b *Breaker) allow() (shed bool) {
 		if b.shed >= b.cfg.Cooldown {
 			b.state = BreakerHalfOpen
 			b.probes++
+			observeTransition(BreakerHalfOpen)
 			return false
 		}
 		return true
@@ -112,6 +113,7 @@ func (b *Breaker) record(ok bool) {
 		if b.state != BreakerClosed {
 			b.state = BreakerClosed
 			b.shed = 0
+			observeTransition(BreakerClosed)
 		}
 		return
 	}
@@ -120,7 +122,16 @@ func (b *Breaker) record(ok bool) {
 		b.state = BreakerOpen
 		b.shed = 0
 		b.opens++
+		observeTransition(BreakerOpen)
 	}
+}
+
+// observeTransition mirrors a state change into the process metrics
+// (catapi_breaker_transitions_total, catapi_breaker_state). Metrics
+// are observation-only: nothing in the breaker reads them back.
+func observeTransition(to BreakerState) {
+	mBreakerTransitions.With(to.String()).Inc()
+	mBreakerState.Set(int64(to))
 }
 
 // BreakerSnapshot is a point-in-time view for metrics and tests.

@@ -209,9 +209,11 @@ func (c *Client) resolve(ctx context.Context, domain string) (taxonomy.Category,
 		return taxonomy.Uncategorized, err
 	}
 	c.lookups.Add(1)
+	mLookups.Inc()
 	shed := c.breaker.allow()
 	if shed {
 		c.shed.Add(1)
+		mShedLookups.Inc()
 		// Gate time, not answers: suppress the transport's injected
 		// delays; backoff sleeps are skipped below for the same reason.
 		ctx = chaos.WithoutDelays(ctx)
@@ -244,16 +246,19 @@ func (c *Client) resolve(ctx context.Context, domain string) (taxonomy.Category,
 		}
 		planned += next
 		c.retries.Add(1)
+		mRetries.Inc()
 		// Full jitter: sleep uniform [0, next), drawn from a stream
 		// keyed by (jitter seed, domain, attempt) so the duration — and
 		// with it the SleepBudget arithmetic above, which uses the
 		// pre-jitter plan — never depends on scheduling.
 		d := time.Duration(c.jitter.Fork(fmt.Sprintf("backoff|%s|%d", domain, attempt)).Float64() * float64(next))
+		mSleepSeconds.Add(d.Seconds())
 		if err := chaos.Sleep(ctx, d); err != nil {
 			return taxonomy.Uncategorized, err
 		}
 	}
 	c.degraded.Add(1)
+	mDegraded.Inc()
 	c.breaker.record(false)
 	return taxonomy.Uncategorized, nil
 }
@@ -278,11 +283,13 @@ func (c *Client) plannedBackoff(k int) time.Duration {
 // timeout, converting panics into retryable errors.
 func (c *Client) attemptOnce(ctx context.Context, domain string) (cat taxonomy.Category, err error) {
 	c.attempts.Add(1)
+	mAttempts.Inc()
 	actx, cancel := context.WithTimeout(ctx, c.policy.AttemptTimeout)
 	defer cancel()
 	defer func() {
 		if r := recover(); r != nil {
 			c.panics.Add(1)
+			mTransportPanics.Inc()
 			cat, err = taxonomy.Unknown, &errAttemptPanic{val: r}
 		}
 	}()

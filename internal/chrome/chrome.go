@@ -12,7 +12,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
+	"wwb/internal/metrics"
 	"wwb/internal/parallel"
 	"wwb/internal/psl"
 	"wwb/internal/telemetry"
@@ -200,6 +202,7 @@ func Assemble(w *world.World, tcfg telemetry.Config, opts Options) *Dataset {
 // a nil dataset. A nil error guarantees a complete dataset identical
 // to Assemble's for every worker count.
 func AssembleCtx(ctx context.Context, w *world.World, tcfg telemetry.Config, opts Options) (*Dataset, error) {
+	assembleStart := time.Now()
 	months := assembledMonths(opts)
 	ds := &Dataset{
 		Opts:     opts,
@@ -224,6 +227,7 @@ func AssembleCtx(ctx context.Context, w *world.World, tcfg telemetry.Config, opt
 	// Fork does not mutate the parent stream, so sharing root across
 	// workers is race-free. Cancellation is checked between cells —
 	// cells are the pipeline's unit of promptness.
+	sampleStart := time.Now()
 	results, err := parallel.MapCtx(ctx, opts.Workers, len(jobs), func(_ context.Context, i int) (cellResult, error) {
 		j := jobs[i]
 		rng := root.Fork("cell|" + j.country + "|" + j.platform.String() + "|" + j.month.String())
@@ -235,7 +239,9 @@ func AssembleCtx(ctx context.Context, w *world.World, tcfg telemetry.Config, opt
 	if err != nil {
 		return nil, err
 	}
+	metrics.ObserveStage("chrome.sample", time.Since(sampleStart))
 
+	mergeStart := time.Now()
 	// Fan in, in canonical cell order. The global distribution
 	// accumulators are summed one site at a time in exactly the order
 	// the sequential loop used, because float addition is not
@@ -267,6 +273,8 @@ func AssembleCtx(ctx context.Context, w *world.World, tcfg telemetry.Config, opt
 		ds.dist[distKey(p, world.PageLoads)] = NewDistCurve(values(globLoads[p]))
 		ds.dist[distKey(p, world.TimeOnPage)] = NewDistCurve(values(globTime[p]))
 	}
+	metrics.ObserveStage("chrome.merge", time.Since(mergeStart))
+	metrics.ObserveStage("chrome.assemble", time.Since(assembleStart))
 	return ds, nil
 }
 

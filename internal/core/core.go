@@ -10,11 +10,13 @@ import (
 	"context"
 	"strconv"
 	"sync"
+	"time"
 
 	"wwb/internal/analysis"
 	"wwb/internal/catapi"
 	"wwb/internal/chaos"
 	"wwb/internal/chrome"
+	"wwb/internal/metrics"
 	"wwb/internal/taxonomy"
 	"wwb/internal/telemetry"
 	"wwb/internal/world"
@@ -114,7 +116,9 @@ func NewCtx(ctx context.Context, cfg Config) (*Study, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	genStart := time.Now()
 	w := world.Generate(cfg.World)
+	metrics.ObserveStage("world.generate", time.Since(genStart))
 	ds, err := chrome.AssembleCtx(ctx, w, cfg.Telemetry, cfg.Chrome)
 	if err != nil {
 		return nil, err
@@ -123,12 +127,15 @@ func NewCtx(ctx context.Context, cfg Config) (*Study, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	validateStart := time.Now()
 	validation := catapi.Validate(svc, cfg.SamplesPerCategory)
+	metrics.ObserveStage("catapi.validate", time.Since(validateStart))
 
 	// Manual verification pass (Section 3.2): the authors verified
 	// search engines and social networks within the top 100 sites of
 	// every country. Collect those domains and verify them against
 	// the oracle.
+	verifyStart := time.Now()
 	month := cfg.Chrome.DistMonth
 	candidates := map[string]struct{}{}
 	for _, country := range ds.Countries {
@@ -148,6 +155,7 @@ func NewCtx(ctx context.Context, cfg Config) (*Study, error) {
 	for d, c := range catapi.VerifyDomains(svc, domains, taxonomy.SocialNetworks) {
 		verified[d] = c
 	}
+	metrics.ObserveStage("catapi.verify", time.Since(verifyStart))
 
 	// The categorisation serving path always runs through the
 	// resilient client; with chaos off the transport is infallible and

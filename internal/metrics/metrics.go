@@ -1,0 +1,465 @@
+// Package metrics is a small dependency-free metrics registry:
+// atomic counters, gauges, and fixed-bucket histograms with a
+// lock-free Add/Observe hot path, rendered in the Prometheus text
+// exposition format. It exists so the serving path, the resilient
+// categorisation client, and the assembly pipeline can be observed in
+// production without pulling a client library into the build.
+//
+// All instrumentation built on this package is observation-only: a
+// metric never feeds back into a computation, so study output is
+// byte-identical with and without collection. Rendering is
+// deterministic (families and series sort lexicographically), which
+// makes golden tests of the exposition format possible.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Default is the process-wide registry every built-in instrumentation
+// site writes to; wwbserve's GET /metrics renders it. Tests that need
+// isolation build their own registry with NewRegistry.
+var Default = NewRegistry()
+
+// atomicFloat is a float64 updated with a CAS loop; lock-free and
+// race-detector clean.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Load() float64 {
+	return math.Float64frombits(f.bits.Load())
+}
+
+// Counter is a monotonically increasing integer counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// FloatCounter is a monotonically increasing float counter, for
+// totals measured in fractional units (e.g. seconds slept).
+type FloatCounter struct {
+	v atomicFloat
+}
+
+// Add adds v; non-positive increments are dropped to keep the counter
+// monotone.
+func (c *FloatCounter) Add(v float64) {
+	if v > 0 {
+		c.v.Add(v)
+	}
+}
+
+// Value returns the current total.
+func (c *FloatCounter) Value() float64 { return c.v.Load() }
+
+// Gauge is an integer value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (which may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into fixed buckets (cumulative `le`
+// semantics: an observation lands in the first bucket whose upper
+// bound is >= the value, exactly like Prometheus). Observe is
+// lock-free: one atomic add per observation plus a CAS for the sum.
+type Histogram struct {
+	upper  []float64 // strictly increasing; +Inf is implicit
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomicFloat
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("metrics: histogram buckets not strictly increasing: %v", buckets))
+		}
+	}
+	up := append([]float64(nil), buckets...)
+	return &Histogram{upper: up, counts: make([]atomic.Uint64, len(up)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// First bucket with upper >= v; index len(upper) is the +Inf bucket.
+	i := sort.SearchFloat64s(h.upper, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Load() }
+
+// BucketCounts returns the per-bucket (non-cumulative) counts, the
+// last entry being the +Inf bucket.
+func (h *Histogram) BucketCounts() []uint64 {
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// DefBuckets are latency-oriented buckets in seconds, from 0.5ms to
+// 10s — wide enough for both microsecond simulated lookups and
+// full-study assemblies.
+var DefBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// series is one labelled instance inside a family.
+type series struct {
+	vals []string
+	m    any // *Counter | *FloatCounter | *Gauge | *Histogram
+}
+
+// family is all series sharing a metric name.
+type family struct {
+	name    string
+	help    string
+	typ     string
+	labels  []string
+	buckets []float64 // histograms only
+
+	mu     sync.RWMutex
+	series map[string]*series
+}
+
+// get returns the series metric for the joined label values, creating
+// it with mk on first use. The steady-state path is an RLock + map
+// hit; creation takes the write lock once per label set.
+func (f *family) get(key string, vals []string, mk func() any) any {
+	f.mu.RLock()
+	s := f.series[key]
+	f.mu.RUnlock()
+	if s != nil {
+		return s.m
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s = f.series[key]; s != nil {
+		return s.m
+	}
+	s = &series{vals: append([]string(nil), vals...), m: mk()}
+	f.series[key] = s
+	return s.m
+}
+
+// Registry holds metric families and renders them as Prometheus text.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// register returns the family for name, creating it on first use.
+// Redefining a name with a different type or label set panics: that
+// is a programming error, not a runtime condition.
+func (r *Registry) register(name, help, typ string, labels []string, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ || !equalStrings(f.labels, labels) {
+			panic(fmt.Sprintf("metrics: %s re-registered as %s%v, was %s%v", name, typ, labels, f.typ, f.labels))
+		}
+		return f
+	}
+	f := &family{
+		name:    name,
+		help:    help,
+		typ:     typ,
+		labels:  append([]string(nil), labels...),
+		buckets: buckets,
+		series:  make(map[string]*series),
+	}
+	r.families[name] = f
+	return f
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// seriesKey joins label values with an unprintable separator.
+func seriesKey(vals []string) string {
+	return strings.Join(vals, "\xff")
+}
+
+// Counter returns the (unlabelled) counter registered under name.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, typeCounter, nil, nil)
+	return f.get("", nil, func() any { return new(Counter) }).(*Counter)
+}
+
+// FloatCounter returns the (unlabelled) float counter under name.
+func (r *Registry) FloatCounter(name, help string) *FloatCounter {
+	f := r.register(name, help, typeCounter, nil, nil)
+	return f.get("", nil, func() any { return new(FloatCounter) }).(*FloatCounter)
+}
+
+// Gauge returns the (unlabelled) gauge registered under name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, typeGauge, nil, nil)
+	return f.get("", nil, func() any { return new(Gauge) }).(*Gauge)
+}
+
+// Histogram returns the (unlabelled) histogram registered under name.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.register(name, help, typeHistogram, nil, buckets)
+	return f.get("", nil, func() any { return newHistogram(f.buckets) }).(*Histogram)
+}
+
+// CounterVec is a family of counters partitioned by label values.
+type CounterVec struct{ f *family }
+
+// CounterVec registers a labelled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if len(labels) == 0 {
+		panic("metrics: CounterVec needs at least one label")
+	}
+	return &CounterVec{f: r.register(name, help, typeCounter, labels, nil)}
+}
+
+// With returns the counter for one label-value tuple.
+func (v *CounterVec) With(values ...string) *Counter {
+	if len(values) != len(v.f.labels) {
+		panic(fmt.Sprintf("metrics: %s wants %d label values, got %d", v.f.name, len(v.f.labels), len(values)))
+	}
+	return v.f.get(seriesKey(values), values, func() any { return new(Counter) }).(*Counter)
+}
+
+// FloatCounterVec is a family of float counters partitioned by labels.
+type FloatCounterVec struct{ f *family }
+
+// FloatCounterVec registers a labelled float counter family.
+func (r *Registry) FloatCounterVec(name, help string, labels ...string) *FloatCounterVec {
+	if len(labels) == 0 {
+		panic("metrics: FloatCounterVec needs at least one label")
+	}
+	return &FloatCounterVec{f: r.register(name, help, typeCounter, labels, nil)}
+}
+
+// With returns the float counter for one label-value tuple.
+func (v *FloatCounterVec) With(values ...string) *FloatCounter {
+	if len(values) != len(v.f.labels) {
+		panic(fmt.Sprintf("metrics: %s wants %d label values, got %d", v.f.name, len(v.f.labels), len(values)))
+	}
+	return v.f.get(seriesKey(values), values, func() any { return new(FloatCounter) }).(*FloatCounter)
+}
+
+// HistogramVec is a family of histograms partitioned by label values.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers a labelled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if len(labels) == 0 {
+		panic("metrics: HistogramVec needs at least one label")
+	}
+	return &HistogramVec{f: r.register(name, help, typeHistogram, labels, buckets)}
+}
+
+// With returns the histogram for one label-value tuple.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if len(values) != len(v.f.labels) {
+		panic(fmt.Sprintf("metrics: %s wants %d label values, got %d", v.f.name, len(v.f.labels), len(values)))
+	}
+	return v.f.get(seriesKey(values), values, func() any { return newHistogram(v.f.buckets) }).(*Histogram)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// labelString renders {a="x",b="y"}; extra appends one more pair
+// (used for histogram le). Empty input renders to "".
+func labelString(names, vals []string, extraName, extraVal string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, n, escapeLabel(vals[i]))
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, extraName, escapeLabel(extraVal))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every family in the Prometheus text
+// exposition format (version 0.0.4). Families and series are sorted,
+// so the output is deterministic for a given registry state.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	fams := make(map[string]*family, len(r.families))
+	for n, f := range r.families {
+		names = append(names, n)
+		fams[n] = f
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+
+	for _, n := range names {
+		f := fams[n]
+		if err := f.write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) write(w io.Writer) error {
+	f.mu.RLock()
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	rows := make([]*series, len(keys))
+	for i, k := range keys {
+		rows[i] = f.series[k]
+	}
+	f.mu.RUnlock()
+	if len(rows) == 0 {
+		return nil
+	}
+
+	if f.help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+		return err
+	}
+	for _, s := range rows {
+		if err := f.writeSeries(w, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) writeSeries(w io.Writer, s *series) error {
+	switch m := s.m.(type) {
+	case *Counter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(f.labels, s.vals, "", ""), m.Value())
+		return err
+	case *FloatCounter:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labelString(f.labels, s.vals, "", ""), formatFloat(m.Value()))
+		return err
+	case *Gauge:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(f.labels, s.vals, "", ""), m.Value())
+		return err
+	case *Histogram:
+		var cum uint64
+		for i, c := range m.BucketCounts() {
+			cum += c
+			le := "+Inf"
+			if i < len(m.upper) {
+				le = formatFloat(m.upper[i])
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelString(f.labels, s.vals, "le", le), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labelString(f.labels, s.vals, "", ""), formatFloat(m.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelString(f.labels, s.vals, "", ""), m.Count())
+		return err
+	default:
+		return fmt.Errorf("metrics: unknown series type %T in %s", s.m, f.name)
+	}
+}
+
+// Handler serves the registry in the exposition format; wwbserve
+// mounts it at GET /metrics.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			// The connection died mid-render; nothing useful to do.
+			return
+		}
+	})
+}

@@ -1,0 +1,201 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops")
+	g := r.Gauge("test_depth", "depth")
+	fc := r.FloatCounter("test_seconds_total", "seconds")
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.Inc()
+				g.Inc()
+				g.Dec()
+				fc.Add(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != goroutines*per {
+		t.Errorf("counter = %d, want %d", c.Value(), goroutines*per)
+	}
+	if g.Value() != 0 {
+		t.Errorf("gauge = %d, want 0", g.Value())
+	}
+	if want := float64(goroutines*per) * 0.5; fc.Value() != want {
+		t.Errorf("float counter = %v, want %v", fc.Value(), want)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", "latency", []float64{0.01, 0.1, 1})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				h.Observe(float64(i%4) * 0.05)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if h.Count() != 4000 {
+		t.Errorf("count = %d, want 4000", h.Count())
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_h", "", []float64{1, 2, 5})
+	// Prometheus le semantics: a value equal to a bound lands in that
+	// bucket.
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 5, 6} {
+		h.Observe(v)
+	}
+	got := h.BucketCounts()
+	want := []uint64{2, 2, 2, 1} // le=1: {0.5,1}; le=2: {1.5,2}; le=5: {3,5}; +Inf: {6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Sum() != 0.5+1+1.5+2+3+5+6 {
+		t.Errorf("sum = %v", h.Sum())
+	}
+}
+
+func TestVecConcurrentWith(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_labeled_total", "", "route", "class")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				v.With("/v1/list", "2xx").Inc()
+				if i%2 == 0 {
+					v.With("/v1/dist", "4xx").Inc()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := v.With("/v1/list", "2xx").Value(); got != 8000 {
+		t.Errorf("list 2xx = %d, want 8000", got)
+	}
+	if got := v.With("/v1/dist", "4xx").Value(); got != 4000 {
+		t.Errorf("dist 4xx = %d, want 4000", got)
+	}
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("app_requests_total", "Requests served.")
+	c.Add(3)
+	g := r.Gauge("app_in_flight", "Requests in flight.")
+	g.Set(2)
+	v := r.CounterVec("app_by_route_total", "Per route.", "route")
+	v.With("/b").Add(1)
+	v.With("/a").Add(2)
+	h := r.Histogram("app_latency_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(3)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP app_by_route_total Per route.
+# TYPE app_by_route_total counter
+app_by_route_total{route="/a"} 2
+app_by_route_total{route="/b"} 1
+# HELP app_in_flight Requests in flight.
+# TYPE app_in_flight gauge
+app_in_flight 2
+# HELP app_latency_seconds Latency.
+# TYPE app_latency_seconds histogram
+app_latency_seconds_bucket{le="0.1"} 1
+app_latency_seconds_bucket{le="1"} 2
+app_latency_seconds_bucket{le="+Inf"} 3
+app_latency_seconds_sum 3.55
+app_latency_seconds_count 3
+# HELP app_requests_total Requests served.
+# TYPE app_requests_total counter
+app_requests_total 3
+`
+	if b.String() != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("esc_total", "", "path")
+	v.With("a\"b\\c\nd").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `esc_total{path="a\"b\\c\nd"} 1`) {
+		t.Errorf("unescaped label: %q", b.String())
+	}
+}
+
+func TestReRegisterSameShapeReturnsSame(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("same_total", "x")
+	b := r.Counter("same_total", "x")
+	if a != b {
+		t.Error("re-registering the same counter returned a new instance")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering with a different type did not panic")
+		}
+	}()
+	r.Gauge("same_total", "x")
+}
+
+func TestStageSummary(t *testing.T) {
+	ResetStages()
+	defer ResetStages()
+	ObserveStage("world.generate", 1500*time.Microsecond)
+	ObserveStage("chrome.sample", 2*time.Millisecond)
+	ObserveStage("chrome.sample", 3*time.Millisecond)
+	out := StageSummary()
+	for _, want := range []string{"stage", "world.generate", "chrome.sample", "2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	names := StageNames()
+	if len(names) != 2 || names[0] != "world.generate" || names[1] != "chrome.sample" {
+		t.Errorf("stage order = %v", names)
+	}
+	// The registry counters are cumulative across observations.
+	if stageRuns.With("chrome.sample").Value() < 2 {
+		t.Errorf("stage runs = %d, want >= 2", stageRuns.With("chrome.sample").Value())
+	}
+}
+
+func TestStageSummaryEmpty(t *testing.T) {
+	ResetStages()
+	if out := StageSummary(); out != "" {
+		t.Errorf("empty summary = %q", out)
+	}
+}

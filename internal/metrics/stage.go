@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Stage timings record how long each named pipeline stage took —
+// world generation, cell sampling, fan-in, validation, and so on.
+// They feed two consumers: the Default registry (so a running
+// wwbserve exposes wwb_stage_seconds_total on /metrics) and the
+// human-readable summary table wwbstudy/wwbgen print after a run.
+// Timings are wall-clock observations only; no computation reads
+// them back, so collection cannot perturb study output.
+
+var (
+	stageSeconds = Default.FloatCounterVec(
+		"wwb_stage_seconds_total",
+		"Cumulative wall-clock seconds spent per pipeline stage.",
+		"stage")
+	stageRuns = Default.CounterVec(
+		"wwb_stage_runs_total",
+		"Completed runs per pipeline stage.",
+		"stage")
+)
+
+// stageStat accumulates one stage's observations for the summary.
+type stageStat struct {
+	runs  int
+	total time.Duration
+	last  time.Duration
+}
+
+var (
+	stageMu    sync.Mutex
+	stageOrder []string
+	stageStats = map[string]*stageStat{}
+)
+
+// ObserveStage records one completed run of a named stage.
+func ObserveStage(name string, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	stageSeconds.With(name).Add(d.Seconds())
+	stageRuns.With(name).Inc()
+
+	stageMu.Lock()
+	defer stageMu.Unlock()
+	st := stageStats[name]
+	if st == nil {
+		st = &stageStat{}
+		stageStats[name] = st
+		stageOrder = append(stageOrder, name)
+	}
+	st.runs++
+	st.total += d
+	st.last = d
+}
+
+// TimeStage runs fn and records its duration under name.
+func TimeStage(name string, fn func()) {
+	start := time.Now()
+	fn()
+	ObserveStage(name, time.Since(start))
+}
+
+// StageSummary renders the stage table in first-observed order (the
+// pipeline's natural execution order), or "" when nothing ran. The
+// callers print it to stderr so stdout study output stays
+// byte-identical with instrumentation on.
+func StageSummary() string {
+	stageMu.Lock()
+	defer stageMu.Unlock()
+	if len(stageOrder) == 0 {
+		return ""
+	}
+	width := len("stage")
+	for _, n := range stageOrder {
+		if len(n) > width {
+			width = len(n)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-*s  %5s  %12s  %12s\n", width, "stage", "runs", "total", "last")
+	for _, n := range stageOrder {
+		st := stageStats[n]
+		fmt.Fprintf(&b, "%-*s  %5d  %12s  %12s\n",
+			width, n, st.runs,
+			st.total.Round(time.Microsecond),
+			st.last.Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// StageNames returns the observed stage names in execution order
+// (mainly for tests).
+func StageNames() []string {
+	stageMu.Lock()
+	defer stageMu.Unlock()
+	return append([]string(nil), stageOrder...)
+}
+
+// ResetStages clears the summary accumulator (tests only; the
+// registry series are monotone and are left alone).
+func ResetStages() {
+	stageMu.Lock()
+	defer stageMu.Unlock()
+	stageOrder = nil
+	stageStats = map[string]*stageStat{}
+}

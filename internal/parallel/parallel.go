@@ -14,6 +14,26 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"wwb/internal/metrics"
+)
+
+// Process-wide pool metrics, exposed on wwbserve's /metrics. The
+// per-item counters are one atomic add each — noise next to any real
+// fn — and nothing in the pool reads them back, so scheduling and
+// results are untouched.
+var (
+	mTasksStarted = metrics.Default.Counter(
+		"parallel_tasks_started_total",
+		"Work items handed to pool workers.")
+	mTasksCompleted = metrics.Default.Counter(
+		"parallel_tasks_completed_total",
+		"Work items that ran to completion (no panic, no error).")
+	mCallSeconds = metrics.Default.Histogram(
+		"parallel_call_seconds",
+		"Wall-clock duration of one ForEach/Map fan-out call.",
+		metrics.DefBuckets)
 )
 
 // Workers resolves a worker-count knob: values >= 1 are used as-is,
@@ -40,13 +60,17 @@ func ForEach(workers, n int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
+	start := time.Now()
+	defer func() { mCallSeconds.Observe(time.Since(start).Seconds()) }()
 	workers = Workers(workers)
 	if workers > n {
 		workers = n
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			mTasksStarted.Inc()
 			fn(i)
+			mTasksCompleted.Inc()
 		}
 		return
 	}
@@ -66,6 +90,7 @@ func ForEach(workers, n int, fn func(i int)) {
 				if i >= n {
 					return
 				}
+				mTasksStarted.Inc()
 				func() {
 					defer func() {
 						if r := recover(); r != nil {
@@ -73,7 +98,9 @@ func ForEach(workers, n int, fn func(i int)) {
 							panicOnce.Do(func() {
 								panicked = fmt.Errorf("parallel: worker panic on item %d: %v\n%s", i, r, stack)
 							})
+							return
 						}
+						mTasksCompleted.Inc()
 					}()
 					fn(i)
 				}()
@@ -115,6 +142,8 @@ func ForEachCtx(ctx context.Context, workers, n int, fn func(ctx context.Context
 	if n <= 0 {
 		return ctx.Err()
 	}
+	start := time.Now()
+	defer func() { mCallSeconds.Observe(time.Since(start).Seconds()) }()
 	workers = Workers(workers)
 	if workers > n {
 		workers = n
@@ -127,9 +156,11 @@ func ForEachCtx(ctx context.Context, workers, n int, fn func(ctx context.Context
 			if err := cctx.Err(); err != nil {
 				return err
 			}
+			mTasksStarted.Inc()
 			if err := fn(cctx, i); err != nil {
 				return err
 			}
+			mTasksCompleted.Inc()
 		}
 		return nil
 	}
@@ -155,6 +186,7 @@ func ForEachCtx(ctx context.Context, workers, n int, fn func(ctx context.Context
 				if i >= n {
 					return
 				}
+				mTasksStarted.Inc()
 				func() {
 					defer func() {
 						if r := recover(); r != nil {
@@ -173,6 +205,7 @@ func ForEachCtx(ctx context.Context, workers, n int, fn func(ctx context.Context
 						return
 					}
 					completed.Add(1)
+					mTasksCompleted.Inc()
 				}()
 			}
 		}()
