@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// writeFileAtomic writes via a temp file in the destination directory
+// and renames into place only after a successful flush and close, so:
+//
+//   - a crash or encode error mid-write never leaves a truncated file
+//     at the target path (the old wwbgen wrote the target directly);
+//   - a close-time failure (e.g. disk full flushing the last buffer)
+//     is reported as the command's error instead of being swallowed by
+//     a deferred Close after "wrote %s" already claimed success.
+//
+// On any failure the temp file is removed and the target is untouched.
+func writeFileAtomic(path string, write func(io.Writer) error) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	discard := func(err error) error {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	// CreateTemp opens 0600; published datasets should be readable
+	// like any os.Create output.
+	if err := tmp.Chmod(0o644); err != nil {
+		return discard(err)
+	}
+	bw := bufio.NewWriterSize(tmp, 1<<20)
+	if err := write(bw); err != nil {
+		return discard(fmt.Errorf("encoding dataset: %w", err))
+	}
+	if err := bw.Flush(); err != nil {
+		return discard(fmt.Errorf("writing %s: %w", name, err))
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("finalizing %s: %w", name, err)
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
+}

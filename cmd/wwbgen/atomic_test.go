@@ -1,0 +1,86 @@
+package main
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileAtomicSuccess(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	err := writeFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("payload"))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "payload" {
+		t.Errorf("content = %q", got)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+// TestWriteFileAtomicEncodeFailure: a mid-encode failure must leave
+// the target untouched — no truncated file, no leftover temp file.
+func TestWriteFileAtomicEncodeFailure(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	boom := errors.New("disk exploded")
+	err := writeFileAtomic(path, func(w io.Writer) error {
+		w.Write([]byte("partial bytes that must never surface"))
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped %v", err, boom)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("target exists after failed write: %v", err)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+// TestWriteFileAtomicPreservesPrevious: a failed rewrite keeps the old
+// complete artifact in place, so a serving replica re-reading the path
+// never sees a torn file.
+func TestWriteFileAtomicPreservesPrevious(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := os.WriteFile(path, []byte("previous good dataset"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	werr := writeFileAtomic(path, func(w io.Writer) error {
+		return errors.New("encode failed")
+	})
+	if werr == nil {
+		t.Fatal("expected error")
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "previous good dataset" {
+		t.Errorf("previous artifact clobbered: %q", got)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+func assertNoTempFiles(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if matched, _ := filepath.Match("*.tmp-*", e.Name()); matched {
+			t.Errorf("leftover temp file %s", e.Name())
+		}
+	}
+}

@@ -1,16 +1,20 @@
 // Command wwbgen generates a synthetic study dataset and writes it as
-// JSON: the rank lists and traffic-distribution curves a downstream
-// analysis (or the wwbserve server) consumes. Generation is fully
-// deterministic in the seed.
+// JSON, CSV, or a .wwb binary snapshot: the rank lists and traffic-
+// distribution curves a downstream analysis (or the wwbserve server)
+// consumes. Generation is fully deterministic in the seed, and file
+// output is atomic: the target path only ever holds a complete,
+// flushed dataset.
 //
 // Usage:
 //
 //	wwbgen -scale small -seed 42 -months feb -o dataset.json
+//	wwbgen -scale default -seed 42 -o study.wwb -format wwb
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"time"
@@ -30,13 +34,20 @@ func main() {
 		seed      = flag.Uint64("seed", 42, "world generation seed")
 		months    = flag.String("months", "all", "months to assemble: all or feb")
 		out       = flag.String("o", "-", "output path (- for stdout)")
-		format    = flag.String("format", "json", "output format: json (lossless) or csv (rank lists only)")
+		format    = flag.String("format", "json", "output format: json (lossless), wwb (binary snapshot with interned index, near-instant load), or csv (rank lists only)")
 		threshold = flag.Int64("privacy-threshold", 50, "minimum unique clients per site per month")
 		topN      = flag.Int("topn", 10000, "rank list depth")
 		workers   = flag.Int("workers", 0, "assembly worker goroutines (0 = one per CPU, 1 = sequential; output is identical)")
 	)
 	flag.Parse()
 
+	switch *format {
+	case "json", "csv", "wwb":
+	default:
+		// Rejected before the (potentially minutes-long) assembly, not
+		// after.
+		log.Fatalf("unknown -format %q (want json, wwb, or csv)", *format)
+	}
 	wcfg, err := worldConfig(*scale)
 	if err != nil {
 		log.Fatal(err)
@@ -63,34 +74,28 @@ func main() {
 		log.Printf("stage timings:\n%s", summary)
 	}
 
-	var f *os.File
-	if *out == "-" {
-		f = os.Stdout
-	} else {
-		f, err = os.Create(*out)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer func() {
-			if err := f.Close(); err != nil {
-				log.Fatal(err)
-			}
-		}()
-	}
+	prov := chrome.SnapshotProvenance{Tool: "wwbgen", WorldSeed: *seed, Scale: *scale}
+	var encode func(io.Writer) error
 	switch *format {
 	case "json":
-		err = ds.Encode(f)
+		encode = ds.Encode
 	case "csv":
-		err = ds.EncodeCSV(f)
-	default:
-		log.Fatalf("unknown -format %q (want json or csv)", *format)
+		encode = ds.EncodeCSV
+	case "wwb":
+		encode = func(w io.Writer) error { return ds.EncodeSnapshot(w, prov) }
 	}
-	if err != nil {
-		log.Fatalf("encoding dataset: %v", err)
+	if *out == "-" {
+		if err := encode(os.Stdout); err != nil {
+			log.Fatalf("encoding dataset: %v", err)
+		}
+		return
 	}
-	if *out != "-" {
-		fmt.Fprintf(os.Stderr, "wwbgen: wrote %s\n", *out)
+	// Atomic write: encode to a temp file, close it (checking the
+	// error), then rename into place — only then claim success.
+	if err := writeFileAtomic(*out, encode); err != nil {
+		log.Fatal(err)
 	}
+	log.Printf("wrote %s", *out)
 }
 
 func worldConfig(scale string) (world.Config, error) {

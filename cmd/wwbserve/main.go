@@ -47,7 +47,7 @@ func main() {
 
 	var (
 		addr        = flag.String("addr", "127.0.0.1:8089", "listen address")
-		data        = flag.String("data", "", "serve a wwbgen JSON dataset instead of assembling a study (site categories and experiments unavailable)")
+		data        = flag.String("data", "", "serve a wwbgen dataset file (.wwb snapshot or JSON, auto-detected) instead of assembling a study (site categories and experiments unavailable)")
 		scale       = flag.String("scale", "small", "universe scale: small, default, or large")
 		seed        = flag.Uint64("seed", 42, "world generation seed")
 		febOnly     = flag.Bool("feb-only", true, "assemble February only (faster startup)")
@@ -90,12 +90,19 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		ds, err := chrome.Decode(f)
-		f.Close()
+		loadStart := time.Now()
+		ds, info, err := decodeDataFile(f)
+		cerr := f.Close()
 		if err != nil {
-			log.Fatal(err)
+			log.Fatalf("loading %s: %v", *data, err)
 		}
-		log.Printf("loaded dataset %s (%d countries); serving on http://%s", *data, len(ds.Countries), *addr)
+		if cerr != nil {
+			// A close failure after a clean decode means the artifact
+			// read cannot be trusted end to end; refuse to serve it.
+			log.Fatalf("closing %s: %v", *data, cerr)
+		}
+		logDatasetLoad(*data, ds, info, time.Since(loadStart))
+		log.Printf("serving on http://%s", *addr)
 		handler = newDatasetServer(ds).routes(mcfg)
 	} else {
 		log.Printf("assembling %s study (seed %d)...", *scale, *seed)
@@ -128,6 +135,23 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("drained, bye")
+}
+
+// logDatasetLoad records which artifact this replica is serving: the
+// detected format, the snapshot's embedded provenance, and the
+// dataset's own assembly options.
+func logDatasetLoad(path string, ds *chrome.Dataset, info *chrome.SnapshotInfo, took time.Duration) {
+	switch info.Format {
+	case chrome.FormatWWB:
+		log.Printf("loaded %s: wwb snapshot v%d (tool %q, world seed %d, scale %q) in %s",
+			path, info.Version, info.Provenance.Tool, info.Provenance.WorldSeed,
+			info.Provenance.Scale, took.Round(time.Millisecond))
+	default:
+		log.Printf("loaded %s: json dataset in %s", path, took.Round(time.Millisecond))
+	}
+	log.Printf("dataset: %d countries, %d months, sampling seed %d, privacy threshold %d, topN %d, dist month %s",
+		len(ds.Countries), len(ds.Months), ds.Opts.Seed, ds.Opts.PrivacyThreshold,
+		ds.Opts.TopN, ds.Opts.DistMonth)
 }
 
 // serve runs srv on ln until ctx is cancelled (SIGINT/SIGTERM in

@@ -1,0 +1,15 @@
+//go:build !unix
+
+package main
+
+import (
+	"os"
+
+	"wwb/internal/chrome"
+)
+
+// decodeDataFile loads a -data artifact via the portable streaming
+// decoder on platforms without mmap support.
+func decodeDataFile(f *os.File) (*chrome.Dataset, *chrome.SnapshotInfo, error) {
+	return chrome.DecodeAny(f)
+}

@@ -1,0 +1,28 @@
+//go:build unix
+
+package main
+
+import (
+	"os"
+	"syscall"
+
+	"wwb/internal/chrome"
+)
+
+// decodeDataFile loads a -data artifact. Regular files are mmapped and
+// decoded through the zero-copy bytes path — the dataset copies
+// everything it keeps, so the mapping is released before returning.
+// Anything not mappable (pipes, empty files) falls back to the
+// streaming decoder.
+func decodeDataFile(f *os.File) (*chrome.Dataset, *chrome.SnapshotInfo, error) {
+	st, err := f.Stat()
+	if err != nil || !st.Mode().IsRegular() || st.Size() <= 0 || int64(int(st.Size())) != st.Size() {
+		return chrome.DecodeAny(f)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(st.Size()), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return chrome.DecodeAny(f)
+	}
+	defer syscall.Munmap(data)
+	return chrome.DecodeAnyBytes(data)
+}

@@ -97,16 +97,31 @@ func (ix *KeyIndex) Key(id KeyID) string {
 }
 
 // ID returns the dense ID for a site key and whether the key exists in
-// the dataset's universe.
+// the dataset's universe. Indexes restored from a snapshot carry no
+// key→ID map — the sorted universe itself is the lookup structure —
+// so a nil map falls back to binary search.
 func (ix *KeyIndex) ID(key string) (KeyID, bool) {
-	id, ok := ix.ids[key]
-	return id, ok
+	if ix.ids != nil {
+		id, ok := ix.ids[key]
+		return id, ok
+	}
+	i := sort.SearchStrings(ix.keys, key)
+	if i < len(ix.keys) && ix.keys[i] == key {
+		return KeyID(i), true
+	}
+	return 0, false
 }
 
 // cell returns the memoized interned view of one cell, computing it on
 // first access. Cells absent from the dataset yield an empty view.
 func (ix *KeyIndex) cell(country string, p world.Platform, m world.Metric, month world.Month) *cellKeys {
-	k := listKey(country, p, m, month)
+	return ix.cellByKey(listKey(country, p, m, month))
+}
+
+// cellByKey is cell keyed by the raw list-key string — the snapshot
+// encoder walks the dataset's list keys directly when it materialises
+// every per-cell view for serialisation.
+func (ix *KeyIndex) cellByKey(k string) *cellKeys {
 	ix.mu.Lock()
 	c := ix.cells[k]
 	ix.mu.Unlock()
@@ -119,7 +134,7 @@ func (ix *KeyIndex) cell(country string, p world.Platform, m world.Metric, month
 	c = &cellKeys{}
 	seen := make(map[KeyID]struct{}, len(list))
 	for i, e := range list {
-		id := ix.ids[psl.Default.SiteKey(e.Domain)]
+		id, _ := ix.ID(psl.Default.SiteKey(e.Domain))
 		if _, dup := seen[id]; dup {
 			continue
 		}

@@ -81,15 +81,15 @@ func parseCellKey(key string) error {
 		return fmt.Errorf("cell key %q: empty country", key)
 	}
 	p, err := strconv.Atoi(parts[1])
-	if err != nil || p < int(world.Windows) || p > int(world.Android) {
+	if err != nil || !world.ValidPlatform(p) {
 		return fmt.Errorf("cell key %q: bad platform %q", key, parts[1])
 	}
 	m, err := strconv.Atoi(parts[2])
-	if err != nil || m < int(world.PageLoads) || m > int(world.TimeOnPage) {
+	if err != nil || !world.ValidMetric(m) {
 		return fmt.Errorf("cell key %q: bad metric %q", key, parts[2])
 	}
 	mo, err := strconv.Atoi(parts[3])
-	if err != nil || mo < 0 || mo >= world.NumMonths {
+	if err != nil || !world.ValidMonth(mo) {
 		return fmt.Errorf("cell key %q: bad month %q", key, parts[3])
 	}
 	return nil
@@ -99,7 +99,7 @@ func parseCellKey(key string) error {
 // so decoded files behave like assembled ones.
 func validateDataset(dj *datasetJSON) error {
 	for _, m := range dj.Months {
-		if m < 0 || m >= world.NumMonths {
+		if !world.ValidMonth(int(m)) {
 			return fmt.Errorf("month %d out of range", int(m))
 		}
 	}

@@ -51,9 +51,39 @@ func TestDecodeRejectsTruncatedFile(t *testing.T) {
 	}
 }
 
-// FuzzDecode feeds arbitrary bytes through Decode: it must either
-// reject them with an error or return a dataset whose query surface
-// (List, Coverage, Dist, Index) can be exercised without panicking.
+// exerciseDataset walks the full query surface (List, Coverage, Dist,
+// Index) of an accepted dataset: whatever a decoder lets through must
+// never panic under the queries the server issues. Shared by
+// FuzzDecode and FuzzDecodeSnapshot.
+func exerciseDataset(ds *Dataset) {
+	for _, c := range append(ds.Countries, "US", "") {
+		l := ds.List(c, world.Windows, world.PageLoads, world.Feb2022)
+		_ = l.TopN(10)
+		_ = l.Rank("a.com")
+		_ = ds.Coverage(c, world.Windows, world.PageLoads, world.Feb2022)
+	}
+	if curve := ds.Dist(world.Windows, world.PageLoads); curve != nil {
+		_ = curve.CumShare(10)
+		_ = curve.WeightAt(1)
+		_ = curve.SitesForShare(0.5)
+	}
+	ix := ds.Index()
+	_ = ix.NumKeys()
+	_ = ix.Key(0)
+	if id, ok := ix.ID("a"); ok {
+		_ = ix.Rank("US", world.Windows, world.PageLoads, world.Feb2022, id)
+	}
+	for _, c := range ds.Countries {
+		_ = ix.MergedIDsTopN(c, world.Windows, world.PageLoads, world.Feb2022, 10)
+	}
+}
+
+// FuzzDecode feeds arbitrary bytes through the JSON Decode: it must
+// either reject them with an error or return a dataset whose query
+// surface can be exercised without panicking. Binary snapshot bytes
+// (valid, truncated, bit-flipped) are seeded too — the JSON path must
+// reject them cleanly, and mutations that turn one format's prefix
+// into the other's must not confuse either decoder.
 func FuzzDecode(f *testing.F) {
 	var valid bytes.Buffer
 	if err := testDataset.Encode(&valid); err != nil {
@@ -67,26 +97,19 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte(`{"lists":{"US|0|0":[]}}`))
 	f.Add([]byte(`garbage`))
 
+	var snap bytes.Buffer
+	if err := testDataset.EncodeSnapshot(&snap, SnapshotProvenance{Tool: "fuzz"}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(snap.Bytes())
+	f.Add(snap.Bytes()[:snap.Len()/2])
+	f.Add(snap.Bytes()[:7])
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		ds, err := Decode(bytes.NewReader(data))
 		if err != nil {
 			return // rejected: that's a valid outcome for arbitrary bytes
 		}
-		// Accepted: the dataset must be safely queryable.
-		for _, c := range append(ds.Countries, "US", "") {
-			l := ds.List(c, world.Windows, world.PageLoads, world.Feb2022)
-			_ = l.TopN(10)
-			_ = l.Rank("a.com")
-			_ = ds.Coverage(c, world.Windows, world.PageLoads, world.Feb2022)
-		}
-		if curve := ds.Dist(world.Windows, world.PageLoads); curve != nil {
-			_ = curve.CumShare(10)
-			_ = curve.WeightAt(1)
-			_ = curve.SitesForShare(0.5)
-		}
-		ix := ds.Index()
-		if id, ok := ix.ID("a"); ok {
-			_ = ix.Rank("US", world.Windows, world.PageLoads, world.Feb2022, id)
-		}
+		exerciseDataset(ds)
 	})
 }

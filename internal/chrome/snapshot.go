@@ -1,0 +1,1202 @@
+package chrome
+
+// Binary dataset snapshots (.wwb). The snapshot persists everything a
+// serving process needs — the assembled dataset, its interned KeyIndex,
+// and every memoized per-cell view — so `wwbserve -data study.wwb`
+// answers its first query without re-assembling, re-parsing JSON, or
+// re-interning. The layout (DESIGN.md §7):
+//
+//	magic[8]  version:u32
+//	six sections in fixed order: META DOMS LSTS COVR DIST INDX
+//	  each: tag[4]  length:u64  crc:u32  payload[length]
+//	EOF (trailing bytes are an error)
+//
+// All integers are little-endian; varints are unsigned/zig-zag LEB128
+// (encoding/binary Uvarint/Varint). Strings are uvarint length + UTF-8
+// bytes. Slices whose nil-ness is observable (it changes the JSON
+// re-encoding) carry a leading presence byte. Rank-list entries and
+// index arrays are fixed-width (u32/f64) rather than varint so a
+// decoder can locate every cell's byte span in O(1) and decode cells
+// in parallel. Checksums are CRC-32C (Castagnoli) over each section
+// payload.
+//
+// Decoding is defensive end to end: every count is validated against
+// the bytes actually remaining in its section before anything is
+// allocated, section payloads are read in bounded chunks so a corrupt
+// header declaring an absurd length cannot OOM the process, and the
+// decoded structure passes the same validateDataset pass as the JSON
+// path plus index-specific invariants — a corrupt or truncated file
+// yields a descriptive error, never a dataset that panics under
+// queries.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sort"
+
+	"wwb/internal/parallel"
+	"wwb/internal/world"
+)
+
+// SnapshotVersion is the format version this build reads and writes.
+const SnapshotVersion = 1
+
+// Detected dataset formats, as reported by DecodeAny.
+const (
+	FormatWWB  = "wwb"
+	FormatJSON = "json"
+)
+
+// snapshotMagic opens every .wwb file. Like PNG's signature it embeds
+// \r\n and \x1a so text-mode mangling or accidental truncation at the
+// first line is caught immediately.
+var snapshotMagic = [8]byte{0x89, 'W', 'W', 'B', '\r', '\n', 0x1a, '\n'}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// snapshotSections is the required section order.
+var snapshotSections = [...]string{"META", "DOMS", "LSTS", "COVR", "DIST", "INDX"}
+
+// Presence bytes for slices that distinguish nil from empty.
+const (
+	presNil  = 0
+	presSome = 1
+)
+
+// SnapshotProvenance records how the snapshot's dataset was produced,
+// so an operator can tell which artifact a replica is serving. It is
+// carried verbatim in the META section; the assembly Options travel
+// alongside it as part of the dataset itself.
+type SnapshotProvenance struct {
+	// Tool is the producing command (e.g. "wwbgen").
+	Tool string
+	// WorldSeed is the universe-generation seed (distinct from
+	// Options.Seed, which drives telemetry sampling).
+	WorldSeed uint64
+	// Scale is the universe scale the world was generated at.
+	Scale string
+}
+
+// SnapshotInfo describes a decoded dataset artifact.
+type SnapshotInfo struct {
+	// Format is FormatWWB or FormatJSON.
+	Format string
+	// Version is the snapshot format version (0 for JSON).
+	Version uint32
+	// Provenance is the embedded provenance (zero for JSON).
+	Provenance SnapshotProvenance
+}
+
+// IsSnapshot reports whether a file prefix carries the .wwb magic.
+func IsSnapshot(prefix []byte) bool {
+	return len(prefix) >= len(snapshotMagic) && bytes.Equal(prefix[:len(snapshotMagic)], snapshotMagic[:])
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+
+// snapEncoder accumulates one section at a time in memory (so its
+// length and checksum can prefix the payload) and streams completed
+// sections to the underlying writer.
+type snapEncoder struct {
+	w   *bufio.Writer
+	sec bytes.Buffer
+	tmp [binary.MaxVarintLen64]byte
+}
+
+func (e *snapEncoder) uvarint(v uint64) {
+	n := binary.PutUvarint(e.tmp[:], v)
+	e.sec.Write(e.tmp[:n])
+}
+
+func (e *snapEncoder) varint(v int64) {
+	n := binary.PutVarint(e.tmp[:], v)
+	e.sec.Write(e.tmp[:n])
+}
+
+func (e *snapEncoder) u32(v uint32) {
+	binary.LittleEndian.PutUint32(e.tmp[:4], v)
+	e.sec.Write(e.tmp[:4])
+}
+
+func (e *snapEncoder) u64(v uint64) {
+	binary.LittleEndian.PutUint64(e.tmp[:8], v)
+	e.sec.Write(e.tmp[:8])
+}
+
+func (e *snapEncoder) f64(v float64) { e.u64(math.Float64bits(v)) }
+
+func (e *snapEncoder) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.sec.WriteString(s)
+}
+
+func (e *snapEncoder) strSlice(ss []string) {
+	if ss == nil {
+		e.sec.WriteByte(presNil)
+		return
+	}
+	e.sec.WriteByte(presSome)
+	e.uvarint(uint64(len(ss)))
+	for _, s := range ss {
+		e.str(s)
+	}
+}
+
+func (e *snapEncoder) monthSlice(ms []world.Month) {
+	if ms == nil {
+		e.sec.WriteByte(presNil)
+		return
+	}
+	e.sec.WriteByte(presSome)
+	e.uvarint(uint64(len(ms)))
+	for _, m := range ms {
+		e.varint(int64(m))
+	}
+}
+
+func (e *snapEncoder) f64Slice(vs []float64) {
+	if vs == nil {
+		e.sec.WriteByte(presNil)
+		return
+	}
+	e.sec.WriteByte(presSome)
+	e.uvarint(uint64(len(vs)))
+	for _, v := range vs {
+		e.f64(v)
+	}
+}
+
+// flushSection writes the completed section (header + payload) and
+// resets the buffer for the next one.
+func (e *snapEncoder) flushSection(tag string) error {
+	payload := e.sec.Bytes()
+	var hdr [16]byte
+	copy(hdr[:4], tag)
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[12:16], crc32.Checksum(payload, castagnoli))
+	if _, err := e.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := e.w.Write(payload); err != nil {
+		return err
+	}
+	e.sec.Reset()
+	return nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// EncodeSnapshot writes the dataset as a versioned, checksummed binary
+// snapshot: the rank lists, coverage, and distribution curves plus the
+// interned KeyIndex and every memoized per-cell view (materialised
+// here if not already), so a decoding process never re-interns. Output
+// is deterministic: all maps are serialised in sorted key order, so
+// byte-identical datasets produce byte-identical snapshots regardless
+// of assembly worker count.
+func (d *Dataset) EncodeSnapshot(w io.Writer, prov SnapshotProvenance) error {
+	e := &snapEncoder{w: bufio.NewWriterSize(w, 1<<20)}
+	if _, err := e.w.Write(snapshotMagic[:]); err != nil {
+		return fmt.Errorf("chrome: snapshot: writing magic: %w", err)
+	}
+	var ver [4]byte
+	binary.LittleEndian.PutUint32(ver[:], SnapshotVersion)
+	if _, err := e.w.Write(ver[:]); err != nil {
+		return fmt.Errorf("chrome: snapshot: writing version: %w", err)
+	}
+
+	listKeys := sortedKeys(d.lists)
+
+	// META: dimensions, assembly options, provenance.
+	e.strSlice(d.Countries)
+	e.monthSlice(d.Months)
+	e.varint(d.Opts.PrivacyThreshold)
+	e.varint(int64(d.Opts.TopN))
+	e.varint(int64(d.Opts.DistMonth))
+	e.u64(d.Opts.Seed)
+	e.monthSlice(d.Opts.Months)
+	e.str(prov.Tool)
+	e.u64(prov.WorldSeed)
+	e.str(prov.Scale)
+	if err := e.flushSection("META"); err != nil {
+		return fmt.Errorf("chrome: snapshot: writing META: %w", err)
+	}
+
+	// DOMS: the deduplicated domain table, sorted. Rank-list entries
+	// reference domains by index, so each distinct domain string is
+	// stored (and later allocated) exactly once.
+	domSet := make(map[string]struct{})
+	for _, k := range listKeys {
+		for _, en := range d.lists[k] {
+			domSet[en.Domain] = struct{}{}
+		}
+	}
+	doms := make([]string, 0, len(domSet))
+	for dom := range domSet {
+		doms = append(doms, dom)
+	}
+	sort.Strings(doms)
+	domIdx := make(map[string]uint64, len(doms))
+	for i, dom := range doms {
+		domIdx[dom] = uint64(i)
+	}
+	e.uvarint(uint64(len(doms)))
+	for _, dom := range doms {
+		e.str(dom)
+	}
+	if err := e.flushSection("DOMS"); err != nil {
+		return fmt.Errorf("chrome: snapshot: writing DOMS: %w", err)
+	}
+
+	// LSTS: every rank list, keys sorted. Entries are fixed 12-byte
+	// records (u32 domain index + f64 value) so a decoder can skip a
+	// whole cell in O(1) and fan cell decoding out across CPUs.
+	e.uvarint(uint64(len(listKeys)))
+	for _, k := range listKeys {
+		e.str(k)
+		list := d.lists[k]
+		if list == nil {
+			e.sec.WriteByte(presNil)
+			continue
+		}
+		e.sec.WriteByte(presSome)
+		e.uvarint(uint64(len(list)))
+		for _, en := range list {
+			e.u32(uint32(domIdx[en.Domain]))
+			e.f64(en.Value)
+		}
+	}
+	if err := e.flushSection("LSTS"); err != nil {
+		return fmt.Errorf("chrome: snapshot: writing LSTS: %w", err)
+	}
+
+	// COVR: per-cell coverage shares, keys sorted.
+	covKeys := sortedKeys(d.coverage)
+	e.uvarint(uint64(len(covKeys)))
+	for _, k := range covKeys {
+		e.str(k)
+		e.f64(d.coverage[k])
+	}
+	if err := e.flushSection("COVR"); err != nil {
+		return fmt.Errorf("chrome: snapshot: writing COVR: %w", err)
+	}
+
+	// DIST: the global distribution curves, keys sorted.
+	distKeys := sortedKeys(d.dist)
+	e.uvarint(uint64(len(distKeys)))
+	for _, k := range distKeys {
+		e.str(k)
+		curve := d.dist[k]
+		if curve == nil {
+			e.sec.WriteByte(presNil)
+			continue
+		}
+		e.sec.WriteByte(presSome)
+		e.f64Slice(curve.Shares)
+	}
+	if err := e.flushSection("DIST"); err != nil {
+		return fmt.Errorf("chrome: snapshot: writing DIST: %w", err)
+	}
+
+	// INDX: the interned key universe plus one materialised view per
+	// rank-list cell, so a decoded dataset serves /v1/site point
+	// lookups and the comparison kernels without a single PSL parse.
+	ix := d.Index()
+	e.uvarint(uint64(len(ix.keys)))
+	for _, k := range ix.keys {
+		e.str(k)
+	}
+	e.uvarint(uint64(len(listKeys)))
+	for _, k := range listKeys {
+		c := ix.cellByKey(k)
+		e.str(k)
+		e.uvarint(uint64(len(c.ids)))
+		for _, id := range c.ids {
+			e.u32(uint32(id))
+		}
+		for _, fp := range c.firstPos {
+			e.u32(uint32(fp))
+		}
+	}
+	if err := e.flushSection("INDX"); err != nil {
+		return fmt.Errorf("chrome: snapshot: writing INDX: %w", err)
+	}
+	return e.w.Flush()
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+
+// snapCursor decodes one section payload in place. Every read is
+// bounds-checked against the bytes remaining, so declared counts can
+// never drive allocations past what the file actually contains.
+type snapCursor struct {
+	tag string
+	b   []byte
+	off int
+}
+
+func (c *snapCursor) errf(format string, args ...any) error {
+	return fmt.Errorf("chrome: snapshot section %s: %s", c.tag, fmt.Sprintf(format, args...))
+}
+
+func (c *snapCursor) rem() int { return len(c.b) - c.off }
+
+func (c *snapCursor) take(n int) ([]byte, error) {
+	if n < 0 || n > c.rem() {
+		return nil, c.errf("truncated: need %d bytes at offset %d, %d left", n, c.off, c.rem())
+	}
+	b := c.b[c.off : c.off+n]
+	c.off += n
+	return b, nil
+}
+
+func (c *snapCursor) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(c.b[c.off:])
+	if n <= 0 {
+		return 0, c.errf("bad varint at offset %d", c.off)
+	}
+	c.off += n
+	return v, nil
+}
+
+func (c *snapCursor) varint() (int64, error) {
+	v, n := binary.Varint(c.b[c.off:])
+	if n <= 0 {
+		return 0, c.errf("bad varint at offset %d", c.off)
+	}
+	c.off += n
+	return v, nil
+}
+
+func (c *snapCursor) u32() (uint32, error) {
+	b, err := c.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (c *snapCursor) u64() (uint64, error) {
+	b, err := c.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+func (c *snapCursor) f64() (float64, error) {
+	v, err := c.u64()
+	return math.Float64frombits(v), err
+}
+
+func (c *snapCursor) str() (string, error) {
+	n, err := c.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(c.rem()) {
+		return "", c.errf("string length %d exceeds %d remaining bytes", n, c.rem())
+	}
+	b, err := c.take(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// count reads an element count and validates it against the section's
+// remaining capacity given a minimum encoded size per element — the
+// guard that keeps `make` honest against corrupt counts.
+func (c *snapCursor) count(minItemSize int) (int, error) {
+	v, err := c.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(c.rem()/minItemSize) {
+		return 0, c.errf("count %d at offset %d exceeds section capacity (%d bytes left, ≥%d per item)",
+			v, c.off, c.rem(), minItemSize)
+	}
+	return int(v), nil
+}
+
+func (c *snapCursor) pres() (bool, error) {
+	b, err := c.take(1)
+	if err != nil {
+		return false, err
+	}
+	switch b[0] {
+	case presNil:
+		return false, nil
+	case presSome:
+		return true, nil
+	default:
+		return false, c.errf("bad presence byte %#x at offset %d", b[0], c.off-1)
+	}
+}
+
+func (c *snapCursor) strSlice() ([]string, error) {
+	ok, err := c.pres()
+	if err != nil || !ok {
+		return nil, err
+	}
+	n, err := c.count(1)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, n)
+	for i := range out {
+		if out[i], err = c.str(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (c *snapCursor) monthSlice() ([]world.Month, error) {
+	ok, err := c.pres()
+	if err != nil || !ok {
+		return nil, err
+	}
+	n, err := c.count(1)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]world.Month, n)
+	for i := range out {
+		v, err := c.varint()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = world.Month(v)
+	}
+	return out, nil
+}
+
+func (c *snapCursor) f64Slice() ([]float64, error) {
+	ok, err := c.pres()
+	if err != nil || !ok {
+		return nil, err
+	}
+	n, err := c.count(8)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := c.take(n * 8)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+	}
+	return out, nil
+}
+
+
+// inputSize reports how many bytes remain in r when r can be measured
+// without consuming it (files, bytes.Reader), or -1 when it cannot.
+// A known size lets the decoder validate every declared section length
+// against the file before allocating, and read each payload with a
+// single exact-size allocation instead of chunked growth.
+func inputSize(r io.Reader) int64 {
+	s, ok := r.(io.Seeker)
+	if !ok {
+		return -1
+	}
+	cur, err := s.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return -1
+	}
+	end, err := s.Seek(0, io.SeekEnd)
+	if err != nil {
+		return -1
+	}
+	if _, err := s.Seek(cur, io.SeekStart); err != nil {
+		return -1
+	}
+	return end - cur
+}
+
+// readSectionPayload reads the declared number of bytes in bounded
+// chunks: a corrupt header declaring an absurd length allocates at
+// most one chunk beyond the bytes actually present before hitting a
+// descriptive EOF error. (Inputs whose size can be measured never get
+// here — they take the zero-copy DecodeSnapshotBytes path, where
+// declared lengths are validated against the real size up front.)
+func readSectionPayload(r io.Reader, length uint64, tag string) ([]byte, error) {
+	const chunk = 1 << 20
+	buf := make([]byte, 0, min(length, uint64(chunk)))
+	for uint64(len(buf)) < length {
+		n := uint64(chunk)
+		if rem := length - uint64(len(buf)); rem < n {
+			n = rem
+		}
+		start := len(buf)
+		buf = append(buf, make([]byte, n)...)
+		read, err := io.ReadFull(r, buf[start:])
+		if err != nil {
+			return nil, fmt.Errorf("chrome: snapshot: section %s truncated: declared %d bytes, file ends after %d",
+				tag, length, start+read)
+		}
+	}
+	return buf, nil
+}
+
+// checkSectionHeader validates a 16-byte section header and returns
+// the declared length and checksum.
+func checkSectionHeader(hdr []byte, wantTag string) (length uint64, crc uint32, err error) {
+	if got := string(hdr[:4]); got != wantTag {
+		return 0, 0, fmt.Errorf("chrome: snapshot: unexpected section %q (want %s) — corrupt or reordered file", got, wantTag)
+	}
+	return binary.LittleEndian.Uint64(hdr[4:12]), binary.LittleEndian.Uint32(hdr[12:16]), nil
+}
+
+// verifySectionCRC checksums a section payload against its header.
+func verifySectionCRC(payload []byte, wantCRC uint32, tag string) error {
+	if got := crc32.Checksum(payload, castagnoli); got != wantCRC {
+		return fmt.Errorf("chrome: snapshot: section %s checksum mismatch (file %08x, computed %08x) — corrupt file",
+			tag, wantCRC, got)
+	}
+	return nil
+}
+
+// readSection reads and checksum-verifies the next section from a
+// stream whose total size is unknown. Sections have a fixed order.
+func readSection(r io.Reader, wantTag string) (*snapCursor, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("chrome: snapshot: reading %s section header: file truncated", wantTag)
+	}
+	length, wantCRC, err := checkSectionHeader(hdr[:], wantTag)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := readSectionPayload(r, length, wantTag)
+	if err != nil {
+		return nil, err
+	}
+	if err := verifySectionCRC(payload, wantCRC, wantTag); err != nil {
+		return nil, err
+	}
+	return &snapCursor{tag: wantTag, b: payload}, nil
+}
+
+// snapDecoded accumulates section contents until the Dataset can be
+// assembled and validated as a whole.
+type snapDecoded struct {
+	countries []string
+	months    []world.Month
+	opts      Options
+	prov      SnapshotProvenance
+	doms      []string
+	lists     map[string]RankList
+	coverage  map[string]float64
+	dist      map[string]*DistCurve
+	keys      []string
+	cells     map[string]*cellKeys
+}
+
+func (sd *snapDecoded) decodeMeta(c *snapCursor) error {
+	var err error
+	if sd.countries, err = c.strSlice(); err != nil {
+		return err
+	}
+	if sd.months, err = c.monthSlice(); err != nil {
+		return err
+	}
+	if sd.opts.PrivacyThreshold, err = c.varint(); err != nil {
+		return err
+	}
+	topN, err := c.varint()
+	if err != nil {
+		return err
+	}
+	sd.opts.TopN = int(topN)
+	distMonth, err := c.varint()
+	if err != nil {
+		return err
+	}
+	if !world.ValidMonth(int(distMonth)) {
+		return c.errf("dist month %d out of range", distMonth)
+	}
+	sd.opts.DistMonth = world.Month(distMonth)
+	if sd.opts.Seed, err = c.u64(); err != nil {
+		return err
+	}
+	if sd.opts.Months, err = c.monthSlice(); err != nil {
+		return err
+	}
+	if sd.prov.Tool, err = c.str(); err != nil {
+		return err
+	}
+	if sd.prov.WorldSeed, err = c.u64(); err != nil {
+		return err
+	}
+	sd.prov.Scale, err = c.str()
+	return err
+}
+
+// strTable decodes n length-prefixed strings, required to be strictly
+// sorted. The strings are sliced out of one shared backing copy of the
+// cursor's remaining bytes instead of allocated individually — for the
+// domain table and key universe (tens of thousands of entries) this
+// removes one allocation and one GC-tracked object per string.
+func (c *snapCursor) strTable(n int, what string) ([]string, error) {
+	// First pass: measure the table's byte extent, so the shared copy
+	// holds exactly the table and not the rest of the section.
+	base := c.off
+	for i := 0; i < n; i++ {
+		ln, err := c.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := c.take(int(ln)); err != nil {
+			return nil, err
+		}
+	}
+	blob := string(c.b[base:c.off])
+	c.off = base
+	out := make([]string, n)
+	for i := range out {
+		ln, err := c.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		start := c.off - base
+		if _, err := c.take(int(ln)); err != nil {
+			return nil, err
+		}
+		out[i] = blob[start : start+int(ln)]
+		if i > 0 && out[i] <= out[i-1] {
+			return nil, c.errf("%s not strictly sorted at entry %d (%q after %q)", what, i, out[i], out[i-1])
+		}
+	}
+	return out, nil
+}
+
+func (sd *snapDecoded) decodeDoms(c *snapCursor) error {
+	n, err := c.count(1)
+	if err != nil {
+		return err
+	}
+	sd.doms, err = c.strTable(n, "domain table")
+	return err
+}
+
+// listEntrySize is the fixed encoded size of one rank-list entry:
+// u32 domain index + f64 value.
+const listEntrySize = 12
+
+// listSpan is one cell's raw entry bytes, located during the O(1)
+// sequential walk and decoded in parallel afterwards.
+type listSpan struct {
+	key  string
+	raw  []byte
+	list RankList
+}
+
+func (sd *snapDecoded) decodeLists(c *snapCursor) error {
+	// ≥2 bytes per cell: 1-byte key length + presence byte.
+	n, err := c.count(2)
+	if err != nil {
+		return err
+	}
+	sd.lists = make(map[string]RankList, n)
+	spans := make([]listSpan, 0, n)
+	prevKey := ""
+	for i := 0; i < n; i++ {
+		key, err := c.str()
+		if err != nil {
+			return err
+		}
+		if i > 0 && key <= prevKey {
+			return c.errf("list keys not strictly sorted (%q after %q)", key, prevKey)
+		}
+		prevKey = key
+		ok, err := c.pres()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			sd.lists[key] = nil
+			continue
+		}
+		entries, err := c.count(listEntrySize)
+		if err != nil {
+			return err
+		}
+		raw, err := c.take(entries * listEntrySize)
+		if err != nil {
+			return err
+		}
+		spans = append(spans, listSpan{key: key, raw: raw})
+	}
+	// Entry decode dominates snapshot load; cells are independent, so
+	// fan them out. All lists live in one backing block (sub-sliced
+	// per cell with full capacity clamps) — far fewer allocations and
+	// GC objects than one slice per cell. Each goroutine writes only
+	// its own span.
+	total := 0
+	for i := range spans {
+		total += len(spans[i].raw) / listEntrySize
+	}
+	block := make([]Entry, total)
+	off := 0
+	for i := range spans {
+		n := len(spans[i].raw) / listEntrySize
+		spans[i].list = block[off : off+n : off+n]
+		off += n
+	}
+	errs := make([]error, len(spans))
+	parallel.ForEach(0, len(spans), func(i int) {
+		sp := &spans[i]
+		list := sp.list
+		for j := range list {
+			rec := sp.raw[j*listEntrySize:]
+			di := binary.LittleEndian.Uint32(rec)
+			if int64(di) >= int64(len(sd.doms)) {
+				errs[i] = c.errf("list %q entry %d: domain index %d out of range (%d domains)", sp.key, j, di, len(sd.doms))
+				return
+			}
+			list[j] = Entry{
+				Domain: sd.doms[di],
+				Value:  math.Float64frombits(binary.LittleEndian.Uint64(rec[4:])),
+			}
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	for i := range spans {
+		sd.lists[spans[i].key] = spans[i].list
+	}
+	return nil
+}
+
+func (sd *snapDecoded) decodeCoverage(c *snapCursor) error {
+	// ≥9 bytes per entry: 1-byte key length + 8-byte share.
+	n, err := c.count(9)
+	if err != nil {
+		return err
+	}
+	sd.coverage = make(map[string]float64, n)
+	prevKey := ""
+	for i := 0; i < n; i++ {
+		key, err := c.str()
+		if err != nil {
+			return err
+		}
+		if i > 0 && key <= prevKey {
+			return c.errf("coverage keys not strictly sorted (%q after %q)", key, prevKey)
+		}
+		prevKey = key
+		if sd.coverage[key], err = c.f64(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (sd *snapDecoded) decodeDist(c *snapCursor) error {
+	n, err := c.count(2)
+	if err != nil {
+		return err
+	}
+	sd.dist = make(map[string]*DistCurve, n)
+	prevKey := ""
+	for i := 0; i < n; i++ {
+		key, err := c.str()
+		if err != nil {
+			return err
+		}
+		if i > 0 && key <= prevKey {
+			return c.errf("dist keys not strictly sorted (%q after %q)", key, prevKey)
+		}
+		prevKey = key
+		ok, err := c.pres()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			sd.dist[key] = nil
+			continue
+		}
+		shares, err := c.f64Slice()
+		if err != nil {
+			return err
+		}
+		sd.dist[key] = &DistCurve{Shares: shares}
+	}
+	return nil
+}
+
+func (sd *snapDecoded) decodeIndex(c *snapCursor) error {
+	numKeys, err := c.count(1)
+	if err != nil {
+		return err
+	}
+	if sd.keys, err = c.strTable(numKeys, "index keys"); err != nil {
+		return err
+	}
+	numCells, err := c.count(2)
+	if err != nil {
+		return err
+	}
+	sd.cells = make(map[string]*cellKeys, numCells)
+	type cellSpan struct {
+		key  string
+		raw  []byte
+		cell *cellKeys
+	}
+	spans := make([]cellSpan, 0, numCells)
+	prevKey := ""
+	for i := 0; i < numCells; i++ {
+		key, err := c.str()
+		if err != nil {
+			return err
+		}
+		if i > 0 && key <= prevKey {
+			return c.errf("index cell keys not strictly sorted (%q after %q)", key, prevKey)
+		}
+		prevKey = key
+		// ≥8 bytes per element: 4-byte id + 4-byte first position.
+		n, err := c.count(8)
+		if err != nil {
+			return err
+		}
+		raw, err := c.take(n * 8)
+		if err != nil {
+			return err
+		}
+		spans = append(spans, cellSpan{key: key, raw: raw})
+	}
+	// Bulk-convert both u32 arrays per cell, cells in parallel — the
+	// index half of the decode hot path. As with the rank lists, all
+	// cells share backing blocks.
+	total := 0
+	for i := range spans {
+		total += len(spans[i].raw) / 8
+	}
+	idBlock := make([]KeyID, total)
+	posBlock := make([]int32, total)
+	cellBlock := make([]cellKeys, len(spans))
+	off := 0
+	for i := range spans {
+		n := len(spans[i].raw) / 8
+		cellBlock[i] = cellKeys{
+			ids:      idBlock[off : off+n : off+n],
+			firstPos: posBlock[off : off+n : off+n],
+		}
+		spans[i].cell = &cellBlock[i]
+		off += n
+	}
+	parallel.ForEach(0, len(spans), func(i int) {
+		sp := &spans[i]
+		n := len(sp.raw) / 8
+		cell := sp.cell
+		for j := range cell.ids {
+			cell.ids[j] = KeyID(binary.LittleEndian.Uint32(sp.raw[j*4:]))
+		}
+		rawPos := sp.raw[n*4:]
+		for j := range cell.firstPos {
+			cell.firstPos[j] = int32(binary.LittleEndian.Uint32(rawPos[j*4:]))
+		}
+	})
+	for i := range spans {
+		sd.cells[spans[i].key] = spans[i].cell
+	}
+	return nil
+}
+
+// validateIndex checks the decoded index against the decoded lists:
+// every cell view must reference an existing rank list, stay inside
+// the key universe, and keep first-occurrence positions strictly
+// increasing within the list bounds — the invariants buildIndex
+// guarantees, so a decoded index behaves exactly like a built one.
+func validateIndex(lists map[string]RankList, keys []string, cells map[string]*cellKeys) error {
+	for key, cell := range cells {
+		if err := parseCellKey(key); err != nil {
+			return err
+		}
+		list, ok := lists[key]
+		if !ok {
+			return fmt.Errorf("index cell %q has no rank list", key)
+		}
+		if len(cell.ids) != len(cell.firstPos) {
+			return fmt.Errorf("index cell %q: %d ids but %d positions", key, len(cell.ids), len(cell.firstPos))
+		}
+		if len(cell.ids) > len(list) {
+			return fmt.Errorf("index cell %q: %d merged keys exceed list length %d", key, len(cell.ids), len(list))
+		}
+		prev := int32(-1)
+		for i, id := range cell.ids {
+			if id < 0 || int(id) >= len(keys) {
+				return fmt.Errorf("index cell %q entry %d: key id %d outside universe [0,%d)", key, i, id, len(keys))
+			}
+			fp := cell.firstPos[i]
+			if fp <= prev || int(fp) >= len(list) {
+				return fmt.Errorf("index cell %q entry %d: first position %d invalid (prev %d, list length %d)",
+					key, i, fp, prev, len(list))
+			}
+			prev = fp
+		}
+	}
+	return nil
+}
+
+// DecodeSnapshot reads a binary snapshot previously written by
+// EncodeSnapshot. The decoded structure passes the same validation as
+// the JSON path plus index-specific invariants; the dataset's interned
+// KeyIndex and per-cell views are restored without re-interning.
+//
+// Inputs whose size can be measured without consuming them (files,
+// bytes.Reader) are read once into memory and take the zero-copy
+// DecodeSnapshotBytes path; anything else is decoded section by
+// section with bounded-chunk reads.
+func DecodeSnapshot(r io.Reader) (*Dataset, *SnapshotInfo, error) {
+	if size := inputSize(r); size >= 0 {
+		data := make([]byte, size)
+		if _, err := io.ReadFull(r, data); err != nil {
+			return nil, nil, fmt.Errorf("chrome: snapshot: reading %d-byte input: %v", size, err)
+		}
+		return DecodeSnapshotBytes(data)
+	}
+	return decodeSnapshotStream(bufio.NewReaderSize(r, 1<<20))
+}
+
+// DecodeSnapshotBytes decodes a snapshot held fully in memory (a read
+// or mmapped file). Section payloads are sliced out of data without
+// copying; everything the returned Dataset references is freshly
+// allocated, so the caller may release (e.g. munmap) data as soon as
+// the call returns.
+func DecodeSnapshotBytes(data []byte) (*Dataset, *SnapshotInfo, error) {
+	if len(data) < 12 {
+		return nil, nil, fmt.Errorf("chrome: snapshot: reading file header: file too short")
+	}
+	version, err := checkSnapshotHeader(data[:12])
+	if err != nil {
+		return nil, nil, err
+	}
+	off := 12
+	next := func(tag string) (*snapCursor, error) {
+		if len(data)-off < 16 {
+			return nil, fmt.Errorf("chrome: snapshot: reading %s section header: file truncated", tag)
+		}
+		length, wantCRC, err := checkSectionHeader(data[off:off+16], tag)
+		if err != nil {
+			return nil, err
+		}
+		if length > uint64(len(data)-off-16) {
+			return nil, fmt.Errorf("chrome: snapshot: section %s truncated: declared %d bytes, file ends after %d",
+				tag, length, len(data)-off-16)
+		}
+		payload := data[off+16 : off+16+int(length)]
+		if err := verifySectionCRC(payload, wantCRC, tag); err != nil {
+			return nil, err
+		}
+		off += 16 + int(length)
+		return &snapCursor{tag: tag, b: payload}, nil
+	}
+	atEOF := func() error {
+		if off != len(data) {
+			return fmt.Errorf("chrome: snapshot: trailing data after final section")
+		}
+		return nil
+	}
+	return decodeSections(next, atEOF, version)
+}
+
+// decodeSnapshotStream decodes from a reader of unknown size.
+func decodeSnapshotStream(br *bufio.Reader) (*Dataset, *SnapshotInfo, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, nil, fmt.Errorf("chrome: snapshot: reading file header: file too short")
+	}
+	version, err := checkSnapshotHeader(hdr[:])
+	if err != nil {
+		return nil, nil, err
+	}
+	next := func(tag string) (*snapCursor, error) { return readSection(br, tag) }
+	atEOF := func() error {
+		if _, err := br.ReadByte(); err != io.EOF {
+			return fmt.Errorf("chrome: snapshot: trailing data after final section")
+		}
+		return nil
+	}
+	return decodeSections(next, atEOF, version)
+}
+
+// checkSnapshotHeader validates the 12-byte file header (magic +
+// version) and returns the version.
+func checkSnapshotHeader(hdr []byte) (uint32, error) {
+	if !IsSnapshot(hdr[:8]) {
+		return 0, fmt.Errorf("chrome: snapshot: bad magic %x (not a .wwb snapshot)", hdr[:8])
+	}
+	version := binary.LittleEndian.Uint32(hdr[8:12])
+	if version != SnapshotVersion {
+		return 0, fmt.Errorf("chrome: snapshot: unsupported version %d (this build reads version %d)",
+			version, SnapshotVersion)
+	}
+	return version, nil
+}
+
+// decodeSections runs the fixed section sequence against a section
+// source, validates the result, and assembles the Dataset.
+func decodeSections(next func(tag string) (*snapCursor, error), atEOF func() error, version uint32) (*Dataset, *SnapshotInfo, error) {
+	sd := &snapDecoded{}
+	readAndDecode := func(tag string, dec func(*snapCursor) error) error {
+		cur, err := next(tag)
+		if err != nil {
+			return err
+		}
+		if err := dec(cur); err != nil {
+			return err
+		}
+		if cur.rem() != 0 {
+			return fmt.Errorf("chrome: snapshot: section %s has %d undecoded trailing bytes — corrupt file",
+				tag, cur.rem())
+		}
+		return nil
+	}
+	if err := readAndDecode("META", sd.decodeMeta); err != nil {
+		return nil, nil, err
+	}
+	if err := readAndDecode("DOMS", sd.decodeDoms); err != nil {
+		return nil, nil, err
+	}
+	// LSTS is the largest section; decode it concurrently with reading
+	// and decoding the sections after it (only DOMS is an input to it).
+	// Both big sections additionally fan their cells out across CPUs.
+	lstsCur, err := next("LSTS")
+	if err != nil {
+		return nil, nil, err
+	}
+	lstsErr := make(chan error, 1)
+	go func() {
+		if err := sd.decodeLists(lstsCur); err != nil {
+			lstsErr <- err
+			return
+		}
+		if lstsCur.rem() != 0 {
+			lstsErr <- fmt.Errorf("chrome: snapshot: section LSTS has %d undecoded trailing bytes — corrupt file", lstsCur.rem())
+			return
+		}
+		lstsErr <- nil
+	}()
+	var restErr error
+	for _, s := range []struct {
+		tag string
+		dec func(*snapCursor) error
+	}{{"COVR", sd.decodeCoverage}, {"DIST", sd.decodeDist}, {"INDX", sd.decodeIndex}} {
+		if restErr = readAndDecode(s.tag, s.dec); restErr != nil {
+			break
+		}
+	}
+	// Report errors in section order: LSTS before anything after it.
+	if err := <-lstsErr; err != nil {
+		return nil, nil, err
+	}
+	if restErr != nil {
+		return nil, nil, restErr
+	}
+	if err := atEOF(); err != nil {
+		return nil, nil, err
+	}
+
+	// The same structural validation the JSON path runs, then the
+	// index-specific invariants.
+	dj := &datasetJSON{
+		Opts:      sd.opts,
+		Countries: sd.countries,
+		Months:    sd.months,
+		Lists:     sd.lists,
+		Dist:      sd.dist,
+		Coverage:  sd.coverage,
+	}
+	if err := validateDataset(dj); err != nil {
+		return nil, nil, fmt.Errorf("chrome: invalid dataset: %w", err)
+	}
+	if err := validateIndex(sd.lists, sd.keys, sd.cells); err != nil {
+		return nil, nil, fmt.Errorf("chrome: snapshot: invalid index: %w", err)
+	}
+
+	ds := &Dataset{
+		Opts:      sd.opts,
+		Countries: sd.countries,
+		Months:    sd.months,
+		lists:     sd.lists,
+		dist:      sd.dist,
+		coverage:  sd.coverage,
+	}
+	// No key→ID map: the sorted universe makes KeyIndex.ID a binary
+	// search, which costs nothing to restore.
+	ix := &KeyIndex{ds: ds, keys: sd.keys, cells: sd.cells}
+	ds.indexOnce.Do(func() { ds.index = ix })
+	return ds, &SnapshotInfo{Format: FormatWWB, Version: version, Provenance: sd.prov}, nil
+}
+
+// DecodeAny decodes a dataset in either supported format, detected by
+// the leading magic bytes: .wwb binary snapshots take the snapshot
+// path, everything else falls back to the JSON decoder. The returned
+// SnapshotInfo reports which path was taken (and, for snapshots, the
+// embedded provenance).
+func DecodeAny(r io.Reader) (*Dataset, *SnapshotInfo, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	prefix, err := br.Peek(len(snapshotMagic))
+	if err == nil && IsSnapshot(prefix) {
+		// br has only peeked, so no input has been consumed yet;
+		// DecodeSnapshot may still measure a seekable r through it.
+		return decodeSnapshotBuffered(br, r)
+	}
+	ds, err := Decode(br)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ds, &SnapshotInfo{Format: FormatJSON}, nil
+}
+
+// DecodeAnyBytes is DecodeAny for an input held fully in memory (a
+// read or mmapped file); snapshots take the zero-copy path. As with
+// DecodeSnapshotBytes, the caller may release data once it returns.
+func DecodeAnyBytes(data []byte) (*Dataset, *SnapshotInfo, error) {
+	if IsSnapshot(data) {
+		return DecodeSnapshotBytes(data)
+	}
+	ds, err := Decode(bytes.NewReader(data))
+	if err != nil {
+		return nil, nil, err
+	}
+	return ds, &SnapshotInfo{Format: FormatJSON}, nil
+}
+
+// decodeSnapshotBuffered decodes a snapshot through an already-peeked
+// bufio.Reader: if the underlying reader's size is measurable the
+// whole input is slurped (through br, preserving its buffered prefix)
+// and decoded zero-copy, otherwise the chunked stream path runs.
+func decodeSnapshotBuffered(br *bufio.Reader, underlying io.Reader) (*Dataset, *SnapshotInfo, error) {
+	if size := inputSize(underlying); size >= 0 {
+		// br has already pulled some bytes off the underlying reader;
+		// the total input is what it buffered plus what remains.
+		data := make([]byte, size+int64(br.Buffered()))
+		if _, err := io.ReadFull(br, data); err != nil {
+			return nil, nil, fmt.Errorf("chrome: snapshot: reading %d-byte input: %v", len(data), err)
+		}
+		return DecodeSnapshotBytes(data)
+	}
+	return decodeSnapshotStream(br)
+}

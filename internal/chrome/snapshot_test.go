@@ -1,0 +1,284 @@
+package chrome
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"reflect"
+	"testing"
+
+	"wwb/internal/telemetry"
+)
+
+var testProvenance = SnapshotProvenance{Tool: "wwbgen", WorldSeed: 42, Scale: "small"}
+
+// encodeTestSnapshot serialises the shared test dataset once per call.
+func encodeTestSnapshot(t testing.TB) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := testDataset.EncodeSnapshot(&buf, testProvenance); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSnapshotRoundTrip is the acceptance bar: a dataset decoded from
+// a .wwb snapshot must be byte-identical to the in-memory one — same
+// JSON encoding, same interned index, same memoized per-cell views.
+func TestSnapshotRoundTrip(t *testing.T) {
+	snap := encodeTestSnapshot(t)
+	ds, info, err := DecodeSnapshot(bytes.NewReader(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Format != FormatWWB || info.Version != SnapshotVersion {
+		t.Errorf("info = %+v", info)
+	}
+	if info.Provenance != testProvenance {
+		t.Errorf("provenance = %+v, want %+v", info.Provenance, testProvenance)
+	}
+
+	// The dataset itself: JSON re-encoding must match byte for byte.
+	var orig, decoded bytes.Buffer
+	if err := testDataset.Encode(&orig); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Encode(&decoded); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(orig.Bytes(), decoded.Bytes()) {
+		t.Error("JSON encoding of snapshot-decoded dataset differs from original")
+	}
+
+	// The restored index must match what buildIndex would compute from
+	// scratch: same key universe, same per-cell views.
+	restored := ds.Index()
+	fresh := buildIndex(ds)
+	if !reflect.DeepEqual(restored.keys, fresh.keys) {
+		t.Fatalf("restored key universe differs: %d keys vs %d", len(restored.keys), len(fresh.keys))
+	}
+	for _, k := range sortedKeys(ds.lists) {
+		got, want := restored.cellByKey(k), fresh.cellByKey(k)
+		if !reflect.DeepEqual(got.ids, want.ids) || !reflect.DeepEqual(got.firstPos, want.firstPos) {
+			t.Fatalf("cell %q: restored view differs from rebuilt view", k)
+		}
+	}
+
+	// Re-encoding the decoded dataset must reproduce the snapshot.
+	var again bytes.Buffer
+	if err := ds.EncodeSnapshot(&again, testProvenance); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snap, again.Bytes()) {
+		t.Error("snapshot re-encoding differs from original snapshot")
+	}
+}
+
+// TestSnapshotBytesIdenticalAcrossWorkers: assembly is byte-identical
+// for any worker count, and so must be the snapshot serialisation.
+func TestSnapshotBytesIdenticalAcrossWorkers(t *testing.T) {
+	opts := testDataset.Opts
+	var snaps [][]byte
+	for _, workers := range []int{1, 8} {
+		o := opts
+		o.Workers = workers
+		ds := Assemble(testWorld, telemetry.DefaultConfig(), o)
+		var buf bytes.Buffer
+		if err := ds.EncodeSnapshot(&buf, testProvenance); err != nil {
+			t.Fatal(err)
+		}
+		snaps = append(snaps, buf.Bytes())
+	}
+	if !bytes.Equal(snaps[0], snaps[1]) {
+		t.Error("snapshots differ between Workers=1 and Workers=8")
+	}
+	ref := encodeTestSnapshot(t)
+	if !bytes.Equal(snaps[0], ref) {
+		t.Error("worker-pinned snapshot differs from default-worker snapshot")
+	}
+}
+
+// TestDecodeAnyAutodetects: DecodeAny must route .wwb bytes to the
+// snapshot decoder and anything else to the JSON decoder, yielding
+// equivalent datasets either way.
+func TestDecodeAnyAutodetects(t *testing.T) {
+	snap := encodeTestSnapshot(t)
+	dsSnap, info, err := DecodeAny(bytes.NewReader(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Format != FormatWWB {
+		t.Errorf("snapshot detected as %q", info.Format)
+	}
+
+	var jbuf bytes.Buffer
+	if err := testDataset.Encode(&jbuf); err != nil {
+		t.Fatal(err)
+	}
+	dsJSON, info2, err := DecodeAny(bytes.NewReader(jbuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info2.Format != FormatJSON {
+		t.Errorf("json detected as %q", info2.Format)
+	}
+
+	var a, b bytes.Buffer
+	if err := dsSnap.Encode(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := dsJSON.Encode(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("DecodeAny(wwb) and DecodeAny(json) datasets differ")
+	}
+}
+
+// TestSnapshotRejectsTruncation truncates the snapshot at a spread of
+// byte offsets, including every boundary in the first bytes; each must
+// produce a descriptive error, never a panic or a partial dataset.
+func TestSnapshotRejectsTruncation(t *testing.T) {
+	snap := encodeTestSnapshot(t)
+	offsets := []int{}
+	for i := 0; i < 64 && i < len(snap); i++ {
+		offsets = append(offsets, i)
+	}
+	step := len(snap)/97 + 1
+	for i := 64; i < len(snap); i += step {
+		offsets = append(offsets, i)
+	}
+	offsets = append(offsets, len(snap)-1)
+	for _, off := range offsets {
+		if _, _, err := DecodeSnapshot(bytes.NewReader(snap[:off])); err == nil {
+			t.Errorf("truncation at %d/%d accepted", off, len(snap))
+		}
+	}
+	// The untruncated file still decodes.
+	if _, _, err := DecodeSnapshot(bytes.NewReader(snap)); err != nil {
+		t.Fatalf("full snapshot rejected: %v", err)
+	}
+}
+
+// TestSnapshotRejectsCorruption flips a bit at a spread of offsets —
+// header fields, checksum bytes, and payload bytes alike; every flip
+// must be rejected.
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	snap := encodeTestSnapshot(t)
+	offsets := []int{
+		0, 3, 7, // magic
+		8, 11, // version
+		12, 15, // first section tag
+		16, 23, // first section length
+		24, 27, // first section checksum
+	}
+	step := len(snap)/53 + 1
+	for i := 28; i < len(snap); i += step {
+		offsets = append(offsets, i)
+	}
+	for _, off := range offsets {
+		mut := append([]byte(nil), snap...)
+		mut[off] ^= 0x40
+		if _, _, err := DecodeSnapshot(bytes.NewReader(mut)); err == nil {
+			t.Errorf("bit flip at offset %d accepted", off)
+		}
+	}
+}
+
+func TestSnapshotRejectsWrongMagicAndVersion(t *testing.T) {
+	snap := encodeTestSnapshot(t)
+
+	wrongMagic := append([]byte(nil), snap...)
+	wrongMagic[0] = 'X'
+	if _, _, err := DecodeSnapshot(bytes.NewReader(wrongMagic)); err == nil {
+		t.Error("wrong magic accepted")
+	}
+
+	future := append([]byte(nil), snap...)
+	binary.LittleEndian.PutUint32(future[8:12], SnapshotVersion+1)
+	if _, _, err := DecodeSnapshot(bytes.NewReader(future)); err == nil {
+		t.Error("future version accepted")
+	}
+
+	// DecodeAny falls back to JSON on a non-magic prefix and reports a
+	// JSON error, not a snapshot one.
+	if _, _, err := DecodeAny(bytes.NewReader(wrongMagic)); err == nil {
+		t.Error("DecodeAny accepted corrupted magic as JSON")
+	}
+}
+
+// TestSnapshotRejectsTrailingData: bytes after the final section mean
+// the file was not produced by EncodeSnapshot.
+func TestSnapshotRejectsTrailingData(t *testing.T) {
+	snap := append(encodeTestSnapshot(t), 0xFF)
+	if _, _, err := DecodeSnapshot(bytes.NewReader(snap)); err == nil {
+		t.Error("trailing data accepted")
+	}
+}
+
+// TestSnapshotBoundedAllocation: a header declaring an absurd section
+// length must fail with a truncation error after reading the actual
+// bytes, not attempt a matching allocation.
+func TestSnapshotBoundedAllocation(t *testing.T) {
+	snap := encodeTestSnapshot(t)
+	mut := append([]byte(nil), snap...)
+	// First section header starts at 12: tag[4] at 12, length at 16.
+	binary.LittleEndian.PutUint64(mut[16:24], 1<<50)
+	// Seekable input: rejected against the measured file size before
+	// any allocation. Non-seekable input: rejected after chunked reads
+	// exhaust the bytes actually present.
+	if _, _, err := DecodeSnapshot(bytes.NewReader(mut)); err == nil {
+		t.Error("absurd section length accepted (seekable)")
+	}
+	if _, _, err := DecodeSnapshot(nonSeekable{bytes.NewReader(mut)}); err == nil {
+		t.Error("absurd section length accepted (non-seekable)")
+	}
+}
+
+// nonSeekable hides bytes.Reader's Seek method so decoding takes the
+// unknown-input-size (chunked) path.
+type nonSeekable struct{ io.Reader }
+
+// FuzzDecodeSnapshot feeds arbitrary bytes through the snapshot path
+// (directly and via DecodeAny): they must be rejected with an error or
+// produce a dataset whose query surface is safe, and never panic or
+// allocate past the data actually present.
+func FuzzDecodeSnapshot(f *testing.F) {
+	snap := encodeTestSnapshot(f)
+	f.Add(snap)
+	f.Add(snap[:len(snap)/2])
+	f.Add(snap[:12])
+	f.Add(snap[:30])
+	flipped := append([]byte(nil), snap...)
+	flipped[len(flipped)/2] ^= 0x01
+	f.Add(flipped)
+	wrongMagic := append([]byte(nil), snap...)
+	wrongMagic[3] = 'Z'
+	f.Add(wrongMagic)
+	future := append([]byte(nil), snap...)
+	binary.LittleEndian.PutUint32(future[8:12], 99)
+	f.Add(future)
+	f.Add(snapshotMagic[:])
+	f.Add([]byte{})
+	f.Add([]byte(`{"lists":{}}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ds, _, err := DecodeSnapshot(bytes.NewReader(data))
+		if err == nil {
+			exerciseDataset(ds)
+		}
+		// The chunked path for readers whose size cannot be measured
+		// must agree with the sized path on accept/reject.
+		ds2, _, err2 := DecodeSnapshot(nonSeekable{bytes.NewReader(data)})
+		if (err == nil) != (err2 == nil) {
+			t.Fatalf("sized path err=%v, chunked path err=%v", err, err2)
+		}
+		if err2 == nil {
+			exerciseDataset(ds2)
+		}
+		ds, _, err = DecodeAny(bytes.NewReader(data))
+		if err == nil {
+			exerciseDataset(ds)
+		}
+	})
+}

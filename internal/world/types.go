@@ -99,6 +99,16 @@ func (m Month) String() string {
 	return names[m]
 }
 
+// ValidPlatform reports whether an integer encodes a known platform —
+// the range check every deserialised platform value passes through.
+func ValidPlatform(p int) bool { return p >= int(Windows) && p <= int(Android) }
+
+// ValidMetric reports whether an integer encodes a known metric.
+func ValidMetric(m int) bool { return m >= int(PageLoads) && m <= int(TimeOnPage) }
+
+// ValidMonth reports whether an integer encodes a simulated month.
+func ValidMonth(m int) bool { return m >= 0 && m < NumMonths }
+
 // IsDecember reports whether m is the anomalous holiday month the
 // paper calls out in Section 4.5.
 func (m Month) IsDecember() bool { return m == Dec2021 }
