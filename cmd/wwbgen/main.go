@@ -13,7 +13,6 @@ package main
 
 import (
 	"flag"
-	"fmt"
 	"io"
 	"log"
 	"os"
@@ -30,7 +29,7 @@ func main() {
 	log.SetPrefix("wwbgen: ")
 
 	var (
-		scale     = flag.String("scale", "default", "universe scale: small, default, or large")
+		scale     = flag.String("scale", "default", "universe scale: small, default, large, or huge")
 		seed      = flag.Uint64("seed", 42, "world generation seed")
 		months    = flag.String("months", "all", "months to assemble: all or feb")
 		out       = flag.String("o", "-", "output path (- for stdout)")
@@ -48,7 +47,9 @@ func main() {
 		// after.
 		log.Fatalf("unknown -format %q (want json, wwb, or csv)", *format)
 	}
-	wcfg, err := worldConfig(*scale)
+	// Scale is validated here, before the expensive world generation —
+	// the error enumerates every accepted name, huge included.
+	wcfg, err := world.ConfigForScale(*scale)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,6 +74,7 @@ func main() {
 	if summary := metrics.StageSummary(); summary != "" {
 		log.Printf("stage timings:\n%s", summary)
 	}
+	log.Printf("assembly peak heap: %.1f MiB", float64(chrome.AssemblePeakHeapBytes())/(1<<20))
 
 	prov := chrome.SnapshotProvenance{Tool: "wwbgen", WorldSeed: *seed, Scale: *scale}
 	var encode func(io.Writer) error
@@ -96,17 +98,4 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("wrote %s", *out)
-}
-
-func worldConfig(scale string) (world.Config, error) {
-	switch scale {
-	case "small":
-		return world.SmallConfig(), nil
-	case "default":
-		return world.DefaultConfig(), nil
-	case "large":
-		return world.LargeConfig(), nil
-	default:
-		return world.Config{}, fmt.Errorf("unknown -scale %q (want small, default, or large)", scale)
-	}
 }

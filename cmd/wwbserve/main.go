@@ -48,7 +48,7 @@ func main() {
 	var (
 		addr        = flag.String("addr", "127.0.0.1:8089", "listen address")
 		data        = flag.String("data", "", "serve a wwbgen dataset file (.wwb snapshot or JSON, auto-detected) instead of assembling a study (site categories and experiments unavailable)")
-		scale       = flag.String("scale", "small", "universe scale: small, default, or large")
+		scale       = flag.String("scale", "small", "universe scale: small, default, large, or huge")
 		seed        = flag.Uint64("seed", 42, "world generation seed")
 		febOnly     = flag.Bool("feb-only", true, "assemble February only (faster startup)")
 		workers     = flag.Int("workers", 0, "worker goroutines for assembly and analyses (0 = one per CPU, 1 = sequential; output is identical)")
@@ -61,15 +61,11 @@ func main() {
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
-	switch *scale {
-	case "small":
-		cfg.World = world.SmallConfig()
-	case "default":
-	case "large":
-		cfg.World = world.LargeConfig()
-	default:
-		log.Fatalf("unknown -scale %q", *scale)
+	wcfg, err := world.ConfigForScale(*scale)
+	if err != nil {
+		log.Fatal(err)
 	}
+	cfg.World = wcfg
 	cfg.World.Seed = *seed
 	cfg.Workers = *workers
 	cfg.Chaos = chaos.Flaky(*chaosSeed, *chaosRate)

@@ -38,7 +38,7 @@ func main() {
 
 	var (
 		experiment = flag.String("experiment", "all", "comma-separated experiment IDs, or 'all'")
-		scale      = flag.String("scale", "default", "universe scale: small, default, or large")
+		scale      = flag.String("scale", "default", "universe scale: small, default, large, or huge")
 		seed       = flag.Uint64("seed", 42, "world generation seed")
 		list       = flag.Bool("list", false, "list experiment IDs and exit")
 		febOnly    = flag.Bool("feb-only", false, "assemble February only (faster; disables sec4.5)")
@@ -58,15 +58,11 @@ func main() {
 	}
 
 	cfg := core.DefaultConfig()
-	switch *scale {
-	case "small":
-		cfg.World = world.SmallConfig()
-	case "default":
-	case "large":
-		cfg.World = world.LargeConfig()
-	default:
-		log.Fatalf("unknown -scale %q", *scale)
+	wcfg, err := world.ConfigForScale(*scale)
+	if err != nil {
+		log.Fatal(err)
 	}
+	cfg.World = wcfg
 	cfg.World.Seed = *seed
 	cfg.Workers = *workers
 	cfg.Chaos = chaos.Flaky(*chaosSeed, *chaosRate)

@@ -165,6 +165,10 @@ func SweepDownsampleRate(w *world.World, tcfg telemetry.Config, rates []float64)
 		cell := telemetry.Cell{Country: "US", Platform: world.Windows, Month: world.Feb2022}
 		rng := world.NewRNG(77).Fork("ablation|downsample")
 		stats1 := telemetry.SampleCell(rng, w, cfg, cell)
+		// Rank by loads as SampleCell historically did: the Spearman
+		// below sums floats in slice order, so keeping the order keeps
+		// the sweep's output bit-stable across the streaming refactor.
+		telemetry.SortByLoads(stats1)
 
 		var sampled, expected []float64
 		for _, s := range stats1 {

@@ -86,6 +86,14 @@ type Options struct {
 	// Output is byte-identical for every value. Excluded from the
 	// serialised dataset — it describes the machine, not the data.
 	Workers int `json:"-"`
+	// LegacyAssembly selects the materialise-and-sort reference
+	// pipeline (every cell builds a full []SiteStats and sorts it)
+	// instead of the streaming bounded-memory path. Both produce
+	// byte-identical datasets; the legacy path exists as the oracle
+	// the equivalence tests compare against and costs O(sites) memory
+	// per in-flight cell. Machine knob, not data: excluded from the
+	// serialised dataset.
+	LegacyAssembly bool `json:"-"`
 }
 
 // DefaultOptions mirrors the paper's setup.
@@ -201,8 +209,28 @@ func Assemble(w *world.World, tcfg telemetry.Config, opts Options) *Dataset {
 // as soon as ctx is done and the call returns the context's error with
 // a nil dataset. A nil error guarantees a complete dataset identical
 // to Assemble's for every worker count.
+//
+// Two pipelines implement it, selected by opts.LegacyAssembly and
+// byte-identical to each other: the default streaming path (cells
+// stream site stats through bounded top-N selectors and dense
+// interned distribution accumulators, O(TopN + workers) memory above
+// the output dataset) and the legacy materialise-and-sort reference
+// path. See stream.go for the streaming pipeline and the memory
+// model.
 func AssembleCtx(ctx context.Context, w *world.World, tcfg telemetry.Config, opts Options) (*Dataset, error) {
-	assembleStart := time.Now()
+	stopHeapWatch := watchHeapPeak()
+	defer stopHeapWatch()
+	if opts.LegacyAssembly {
+		return assembleLegacyCtx(ctx, w, tcfg, opts)
+	}
+	return assembleStreamCtx(ctx, w, tcfg, opts)
+}
+
+// newDataset builds the dataset shell and the canonical cell-job
+// order shared by both assembly pipelines. The job order is the
+// documented merge order: countries as generated, platforms in
+// canonical order, months in assembly order.
+func newDataset(w *world.World, opts Options) (*Dataset, []cellJob) {
 	months := assembledMonths(opts)
 	ds := &Dataset{
 		Opts:     opts,
@@ -211,8 +239,6 @@ func AssembleCtx(ctx context.Context, w *world.World, tcfg telemetry.Config, opt
 		dist:     make(map[string]*DistCurve),
 		coverage: make(map[string]float64),
 	}
-	root := world.NewRNG(opts.Seed)
-
 	jobs := make([]cellJob, 0, len(w.Countries())*len(world.Platforms)*len(months))
 	for _, c := range w.Countries() {
 		ds.Countries = append(ds.Countries, c.Code)
@@ -222,6 +248,18 @@ func AssembleCtx(ctx context.Context, w *world.World, tcfg telemetry.Config, opt
 			}
 		}
 	}
+	return ds, jobs
+}
+
+func cellRNG(root *world.RNG, j cellJob) *world.RNG {
+	return root.Fork("cell|" + j.country + "|" + j.platform.String() + "|" + j.month.String())
+}
+
+// assembleLegacyCtx is the materialise-and-sort reference pipeline.
+func assembleLegacyCtx(ctx context.Context, w *world.World, tcfg telemetry.Config, opts Options) (*Dataset, error) {
+	assembleStart := time.Now()
+	ds, jobs := newDataset(w, opts)
+	root := world.NewRNG(opts.Seed)
 
 	// Fan out: sample, threshold, and rank each cell independently.
 	// Fork does not mutate the parent stream, so sharing root across
@@ -230,8 +268,7 @@ func AssembleCtx(ctx context.Context, w *world.World, tcfg telemetry.Config, opt
 	sampleStart := time.Now()
 	results, err := parallel.MapCtx(ctx, opts.Workers, len(jobs), func(_ context.Context, i int) (cellResult, error) {
 		j := jobs[i]
-		rng := root.Fork("cell|" + j.country + "|" + j.platform.String() + "|" + j.month.String())
-		stats := telemetry.SampleCell(rng, w, tcfg, telemetry.Cell{
+		stats := telemetry.SampleCell(cellRNG(root, j), w, tcfg, telemetry.Cell{
 			Country: j.country, Platform: j.platform, Month: j.month,
 		})
 		return buildCell(opts, j, stats), nil
@@ -242,11 +279,11 @@ func AssembleCtx(ctx context.Context, w *world.World, tcfg telemetry.Config, opt
 	metrics.ObserveStage("chrome.sample", time.Since(sampleStart))
 
 	mergeStart := time.Now()
-	// Fan in, in canonical cell order. The global distribution
-	// accumulators are summed one site at a time in exactly the order
-	// the sequential loop used, because float addition is not
-	// associative: per-worker shards reduced at the end would drift in
-	// the last bits and break byte-identical encoding.
+	// Fan in, in canonical cell order — the documented summation
+	// order for the distribution accumulators (each site key receives
+	// one contribution per cell, added in job order). The streaming
+	// path follows the same order over dense interned accumulators,
+	// which is what keeps the two pipelines byte-identical.
 	globLoads := map[world.Platform]map[string]float64{
 		world.Windows: {}, world.Android: {},
 	}
@@ -279,6 +316,8 @@ func AssembleCtx(ctx context.Context, w *world.World, tcfg telemetry.Config, opt
 }
 
 // buildCell thresholds and ranks one cell's stats for both metrics.
+// stats arrives unranked (candidate order): each output list is
+// sorted exactly once here, by its own metric.
 func buildCell(opts Options, j cellJob, stats []telemetry.SiteStats) cellResult {
 	var totLoads, totTime float64
 	kept := make([]telemetry.SiteStats, 0, len(stats))

@@ -1,0 +1,52 @@
+package chrome
+
+import (
+	"os"
+	"testing"
+
+	"wwb/internal/telemetry"
+	"wwb/internal/world"
+)
+
+// TestMemorySmokeHugeProfile is the CI memory-regression guard for the
+// streaming assembly path. It is opt-in (WWB_MEM_SMOKE=1) because it
+// generates a reduced huge-profile universe — the same TailScale knob
+// the huge scale turns, dialled down so the smoke stays CI-sized — and
+// fails if the sampled peak heap exceeds a pinned budget. CI runs it
+// under GOMEMLIMIT so an accidental return to materialise-everything
+// memory behaviour shows up as either this assertion or GC thrash,
+// not as a silently slower green build.
+//
+// Budget provenance: at TailScale 20 (~377K sites) the streaming
+// Feb-only assembly peaks around 375 MiB sampled HeapAlloc on linux/
+// amd64 — mostly the resident universe plus the dense dist
+// accumulators; the in-flight cell state is noise. The legacy
+// materialise-and-sort path peaks around 733 MiB on the same input.
+// 512 MiB therefore separates the two regimes: loose enough for GC
+// timing noise above streaming's peak, and comfortably below what
+// reintroducing O(all results) buffering costs.
+const memSmokeBudgetBytes = 512 << 20
+
+func TestMemorySmokeHugeProfile(t *testing.T) {
+	if os.Getenv("WWB_MEM_SMOKE") != "1" {
+		t.Skip("memory smoke is opt-in: set WWB_MEM_SMOKE=1 (CI runs it under GOMEMLIMIT)")
+	}
+	cfg := world.HugeConfig()
+	cfg.TailScale = 20 // reduced huge profile: same regime, CI-sized
+	w := world.Generate(cfg)
+	t.Logf("reduced huge-profile universe: %d sites", len(w.Sites()))
+
+	opts := DefaultOptions()
+	opts.Months = []world.Month{world.Feb2022}
+	ds := Assemble(w, telemetry.DefaultConfig(), opts)
+	if len(ds.Countries) == 0 {
+		t.Fatal("empty dataset")
+	}
+	peak := AssemblePeakHeapBytes()
+	t.Logf("assembly peak heap: %.1f MiB (budget %.0f MiB)",
+		float64(peak)/(1<<20), float64(memSmokeBudgetBytes)/(1<<20))
+	if peak > memSmokeBudgetBytes {
+		t.Fatalf("assembly peak heap %.1f MiB exceeds pinned budget %.0f MiB — the streaming path regressed towards materialise-everything memory behaviour",
+			float64(peak)/(1<<20), float64(memSmokeBudgetBytes)/(1<<20))
+	}
+}

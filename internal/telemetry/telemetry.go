@@ -87,53 +87,104 @@ func (cfg Config) Clients(c world.Country, p world.Platform) float64 {
 	return pop * (1 - c.MobileShare)
 }
 
-// SampleCell produces the aggregate telemetry for one cell by sampling
-// the generative process at population scale: Poisson page loads per
-// site, foreground-time reconstruction with down-sampling error, and
-// an occupancy-based unique-client estimate.
+// CellTotals are the exact whole-cell aggregates a streaming consumer
+// needs for coverage fractions: every sampled site contributes,
+// including sites below the privacy threshold. The values are integer
+// event counts, so converting to float64 is exact for any realistic
+// cell volume (< 2^53).
+type CellTotals struct {
+	// Loads is the cell's total completed page loads.
+	Loads int64
+	// TimeMS is the cell's total reconstructed foreground milliseconds.
+	TimeMS int64
+	// Sites is the number of sites with at least one sampled load.
+	Sites int
+}
+
+// SampleCellVisit produces the aggregate telemetry for one cell by
+// sampling the generative process at population scale — Poisson page
+// loads per site, foreground-time reconstruction with down-sampling
+// error, and an occupancy-based unique-client estimate — streaming
+// one SiteStats at a time to visit instead of materialising a slice.
+// Sites arrive in the country's canonical candidate order (unranked);
+// exact cell totals are accumulated inline and returned. Memory is
+// O(1) in the number of sites, which is what lets assembly scale the
+// universe without scaling its resident set.
 //
-// The returned slice is sorted by loads descending. rng must be a
-// stream dedicated to this cell so cells are independent and
-// reproducible.
-func SampleCell(rng *world.RNG, w *world.World, cfg Config, cell Cell) []SiteStats {
+// rng must be a stream dedicated to this cell so cells are independent
+// and reproducible; the draw sequence is identical to SampleCell's,
+// so both paths sample identical statistics.
+func SampleCellVisit(rng *world.RNG, w *world.World, cfg Config, cell Cell, visit func(site *world.Site, s SiteStats)) CellTotals {
+	var tot CellTotals
 	c, ok := world.CountryByCode(cell.Country)
 	if !ok {
-		return nil
+		return tot
 	}
-	weights := w.Weights(cell.Country, cell.Platform, cell.Month)
+	// Pass 1: the cell's total relative weight, summed in candidate
+	// order (the same order — hence the same float sum — the
+	// slice-based path produced).
 	var totalWeight float64
-	for _, sw := range weights {
+	w.VisitWeights(cell.Country, cell.Platform, cell.Month, func(sw world.SiteWeight) bool {
 		totalWeight += sw.Loads
-	}
+		return true
+	})
 	if totalWeight == 0 {
-		return nil
+		return tot
 	}
 	clients := cfg.Clients(c, cell.Platform)
 	totalLoads := clients * cfg.LoadsPerClient
 
-	out := make([]SiteStats, 0, len(weights))
-	for _, sw := range weights {
+	// Pass 2: sample each site. Sites whose Poisson draw is zero
+	// consume no further randomness, exactly like the slice path.
+	w.VisitWeights(cell.Country, cell.Platform, cell.Month, func(sw world.SiteWeight) bool {
 		expLoads := sw.Loads / totalWeight * totalLoads
 		loads := rng.Poisson(expLoads)
 		if loads == 0 {
-			continue
+			return true
 		}
-		stats := SiteStats{
+		s := SiteStats{
 			Domain: sw.Site.DomainIn(c),
 			Loads:  int64(loads),
 			TimeMS: sampleTimeMS(rng, float64(loads), sw.Site.DwellMean, cfg.DownsampleRate),
 			Clients: uniqueClients(rng, float64(loads), clients,
 				cfg.VisitsPerClientSite),
 		}
-		out = append(out, stats)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Loads != out[j].Loads {
-			return out[i].Loads > out[j].Loads
-		}
-		return out[i].Domain < out[j].Domain
+		tot.Loads += s.Loads
+		tot.TimeMS += s.TimeMS
+		tot.Sites++
+		visit(sw.Site, s)
+		return true
 	})
+	return tot
+}
+
+// SampleCell is the slice form of SampleCellVisit: it materialises
+// every sampled site's stats in candidate order. The slice is
+// deliberately unranked — every caller re-ranks by its own metric, so
+// a pre-sort here would be pure waste (the assembly path used to sort
+// by loads only for buildCell to immediately re-sort both metric
+// lists). Callers needing the historical loads-descending order sort
+// the result themselves.
+func SampleCell(rng *world.RNG, w *world.World, cfg Config, cell Cell) []SiteStats {
+	var out []SiteStats
+	tot := SampleCellVisit(rng, w, cfg, cell, func(_ *world.Site, s SiteStats) {
+		out = append(out, s)
+	})
+	if tot.Sites == 0 {
+		return nil
+	}
 	return out
+}
+
+// SortByLoads ranks stats by loads descending with the domain as
+// ascending tie-break — the order SampleCell used to guarantee.
+func SortByLoads(stats []SiteStats) {
+	sort.Slice(stats, func(i, j int) bool {
+		if stats[i].Loads != stats[j].Loads {
+			return stats[i].Loads > stats[j].Loads
+		}
+		return stats[i].Domain < stats[j].Domain
+	})
 }
 
 // sampleTimeMS reconstructs total foreground time from down-sampled

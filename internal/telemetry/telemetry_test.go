@@ -27,7 +27,7 @@ func TestSampleCellDeterminism(t *testing.T) {
 	}
 }
 
-func TestSampleCellSortedAndPositive(t *testing.T) {
+func TestSampleCellPositiveAndSortable(t *testing.T) {
 	cell := Cell{Country: "BR", Platform: world.Android, Month: world.Feb2022}
 	stats := SampleCell(testCellRNG(cell), testWorld, DefaultConfig(), cell)
 	if len(stats) < 300 {
@@ -37,12 +37,64 @@ func TestSampleCellSortedAndPositive(t *testing.T) {
 		if s.Loads <= 0 || s.TimeMS < 0 || s.Clients <= 0 || s.Domain == "" {
 			t.Fatalf("row %d invalid: %+v", i, s)
 		}
-		if i > 0 && s.Loads > stats[i-1].Loads {
-			t.Fatal("not sorted by loads descending")
-		}
 		if s.Clients > s.Loads {
 			t.Fatalf("%s: more clients than loads", s.Domain)
 		}
+	}
+	SortByLoads(stats)
+	for i := 1; i < len(stats); i++ {
+		if stats[i].Loads > stats[i-1].Loads {
+			t.Fatal("SortByLoads: not sorted by loads descending")
+		}
+		if stats[i].Loads == stats[i-1].Loads && stats[i].Domain < stats[i-1].Domain {
+			t.Fatal("SortByLoads: domain tie-break violated")
+		}
+	}
+}
+
+// TestSampleCellVisitMatchesSlice is the streaming path's equivalence
+// guarantee: identical sites in identical order with identical draws,
+// and totals that equal the slice sums exactly.
+func TestSampleCellVisitMatchesSlice(t *testing.T) {
+	for _, cell := range []Cell{
+		{Country: "US", Platform: world.Windows, Month: world.Feb2022},
+		{Country: "KR", Platform: world.Android, Month: world.Dec2021},
+	} {
+		slice := SampleCell(testCellRNG(cell), testWorld, DefaultConfig(), cell)
+		var streamed []SiteStats
+		tot := SampleCellVisit(testCellRNG(cell), testWorld, DefaultConfig(), cell,
+			func(site *world.Site, s SiteStats) {
+				if site == nil {
+					t.Fatal("nil site in visit")
+				}
+				streamed = append(streamed, s)
+			})
+		if len(streamed) != len(slice) {
+			t.Fatalf("%+v: streamed %d sites, slice %d", cell, len(streamed), len(slice))
+		}
+		var wantLoads, wantTime int64
+		for i := range slice {
+			if streamed[i] != slice[i] {
+				t.Fatalf("%+v row %d: %+v vs %+v", cell, i, streamed[i], slice[i])
+			}
+			wantLoads += slice[i].Loads
+			wantTime += slice[i].TimeMS
+		}
+		if tot.Loads != wantLoads || tot.TimeMS != wantTime || tot.Sites != len(slice) {
+			t.Fatalf("%+v totals %+v, want loads %d time %d sites %d",
+				cell, tot, wantLoads, wantTime, len(slice))
+		}
+	}
+}
+
+// TestSampleCellVisitUnknownCountry mirrors the slice path's nil
+// behaviour: no visits, zero totals.
+func TestSampleCellVisitUnknownCountry(t *testing.T) {
+	cell := Cell{Country: "XX", Platform: world.Windows, Month: world.Feb2022}
+	tot := SampleCellVisit(testCellRNG(cell), testWorld, DefaultConfig(), cell,
+		func(*world.Site, SiteStats) { t.Fatal("visit called for unknown country") })
+	if tot != (CellTotals{}) {
+		t.Fatalf("non-zero totals %+v for unknown country", tot)
 	}
 }
 

@@ -1,5 +1,7 @@
 package world
 
+import "fmt"
+
 // Config parameterises the synthetic universe. The defaults are
 // calibrated so the paper's headline shapes hold (see the calibration
 // tests in calibration_test.go and EXPERIMENTS.md).
@@ -89,6 +91,38 @@ func LargeConfig() Config {
 	c := DefaultConfig()
 	c.TailScale = 10
 	return c
+}
+
+// HugeConfig is the whole-web stress scale: over a million sites
+// (~1.13M at the default seed), the regime the streaming assembly
+// path is built for. Generation takes tens of seconds on one core;
+// assembly must complete with bounded memory — that is the point.
+func HugeConfig() Config {
+	c := DefaultConfig()
+	c.TailScale = 60
+	return c
+}
+
+// ScaleNames enumerates the named universe scales accepted by the
+// CLIs, smallest first.
+var ScaleNames = []string{"small", "default", "large", "huge"}
+
+// ConfigForScale resolves a named scale to its universe config. The
+// error enumerates the valid names so flag misuse is self-explaining;
+// CLIs call this before any expensive generation starts.
+func ConfigForScale(scale string) (Config, error) {
+	switch scale {
+	case "small":
+		return SmallConfig(), nil
+	case "default":
+		return DefaultConfig(), nil
+	case "large":
+		return LargeConfig(), nil
+	case "huge":
+		return HugeConfig(), nil
+	default:
+		return Config{}, fmt.Errorf("unknown -scale %q (want small, default, large, or huge)", scale)
+	}
 }
 
 // WithSeed returns a copy of c with the seed replaced.

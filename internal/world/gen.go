@@ -110,7 +110,13 @@ func (w *World) buildNationalTail() {
 			head := w.Cfg.NationalScale * math.Pow(tr.HeadWeight, 0.9)
 			for i := 0; i < n; i++ {
 				key := pseudoWord(crng) + countrySlug(c.Code)
-				if _, dup := w.byKey[key]; dup {
+				// Re-roll until unique: at huge tail scales a single
+				// retry is not enough (the 2-syllable pseudo-word space
+				// is small), and the extra draws only happen where the
+				// old single retry would have fired or panicked — the
+				// RNG stream is untouched for keys that were already
+				// unique, so existing scales generate byte-identically.
+				for _, dup := w.byKey[key]; dup; _, dup = w.byKey[key] {
 					key = key + pseudoWord(crng)
 				}
 				noise := crng.LogNormal(0, w.Cfg.TailNoise)

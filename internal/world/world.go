@@ -149,15 +149,39 @@ func (w *World) Weight(cand Candidate, p Platform, m Month) SiteWeight {
 	}
 }
 
+// VisitWeights streams the expected relative traffic of every
+// candidate site in a (country, platform, month) cell to fn, in the
+// country's canonical candidate order — the exact order Weights
+// returns — without materialising a slice. fn returning false stops
+// the enumeration early. This is the assembly hot path's iterator:
+// per-cell memory stays O(1) no matter how many sites the universe
+// holds.
+func (w *World) VisitWeights(code string, p Platform, m Month, fn func(SiteWeight) bool) {
+	for _, cand := range w.candidates[code] {
+		if !fn(w.Weight(cand, p, m)) {
+			return
+		}
+	}
+}
+
+// NumCandidates returns how many sites can surface in a country —
+// the number of weights VisitWeights will yield (useful for sizing
+// buffers without materialising the slice).
+func (w *World) NumCandidates(code string) int {
+	return len(w.candidates[code])
+}
+
 // Weights returns the expected relative traffic of every candidate
 // site in a (country, platform, month) cell. The slice is freshly
-// allocated and unsorted; downstream assembly ranks it.
+// allocated and unsorted; downstream assembly ranks it. Large-scale
+// callers should prefer VisitWeights, which streams the same values
+// in the same order without the allocation.
 func (w *World) Weights(code string, p Platform, m Month) []SiteWeight {
-	cands := w.candidates[code]
-	out := make([]SiteWeight, 0, len(cands))
-	for _, cand := range cands {
-		out = append(out, w.Weight(cand, p, m))
-	}
+	out := make([]SiteWeight, 0, len(w.candidates[code]))
+	w.VisitWeights(code, p, m, func(sw SiteWeight) bool {
+		out = append(out, sw)
+		return true
+	})
 	return out
 }
 
