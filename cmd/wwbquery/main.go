@@ -19,6 +19,8 @@ import (
 	"net/http"
 	"net/url"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 )
 
@@ -64,24 +66,76 @@ func main() {
 type client struct {
 	base string
 	http *http.Client
+	// sleep is swapped out by tests; nil means time.Sleep.
+	sleep func(time.Duration)
 }
 
-func (c client) get(path string, query url.Values) []byte {
+// maxRetryAfter bounds how long a server-suggested Retry-After can make
+// the client wait.
+const maxRetryAfter = 5 * time.Second
+
+// retryDelay converts a 503's Retry-After header into a bounded wait:
+// the advertised seconds (default 1 when absent or malformed, capped at
+// maxRetryAfter) plus 0–249ms of jitter derived deterministically from
+// the request URL, so identical invocations wait identically while a
+// stampede of distinct queries spreads out instead of re-arriving in
+// lockstep.
+func retryDelay(u, header string) time.Duration {
+	base := time.Second
+	if secs, err := strconv.Atoi(strings.TrimSpace(header)); err == nil && secs >= 0 {
+		base = time.Duration(secs) * time.Second
+	}
+	if base > maxRetryAfter {
+		base = maxRetryAfter
+	}
+	const offset, prime = 2166136261, 16777619
+	h := uint32(offset)
+	for i := 0; i < len(u); i++ {
+		h ^= uint32(u[i])
+		h *= prime
+	}
+	return base + time.Duration(h%250)*time.Millisecond
+}
+
+// fetch performs one GET, retrying exactly once when the server sheds
+// with 503 (the in-flight limiter and the fleet router both shed with
+// Retry-After; a single bounded retry rides out the transient).
+func (c client) fetch(path string, query url.Values) ([]byte, error) {
 	u := c.base + path
 	if len(query) > 0 {
 		u += "?" + query.Encode()
 	}
-	resp, err := c.http.Get(u)
-	if err != nil {
-		log.Fatalf("GET %s: %v", u, err)
+	for attempt := 0; ; attempt++ {
+		resp, err := c.http.Get(u)
+		if err != nil {
+			return nil, fmt.Errorf("GET %s: %v", u, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("reading response: %v", err)
+		}
+		if resp.StatusCode == http.StatusOK {
+			return body, nil
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable && attempt == 0 {
+			wait := retryDelay(u, resp.Header.Get("Retry-After"))
+			log.Printf("GET %s: %s; retrying in %v", u, resp.Status, wait)
+			if c.sleep != nil {
+				c.sleep(wait)
+			} else {
+				time.Sleep(wait)
+			}
+			continue
+		}
+		return nil, fmt.Errorf("GET %s: %s: %s", u, resp.Status, body)
 	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
+}
+
+func (c client) get(path string, query url.Values) []byte {
+	body, err := c.fetch(path, query)
 	if err != nil {
-		log.Fatalf("reading response: %v", err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		log.Fatalf("GET %s: %s: %s", u, resp.Status, body)
+		log.Fatal(err)
 	}
 	return body
 }

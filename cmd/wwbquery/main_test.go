@@ -1,0 +1,123 @@
+package main
+
+import (
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRetryDelayDeterministicAndBounded pins the backoff maths: the
+// same URL always waits the same, the header sets the base, and the
+// wait is capped regardless of what the server advertises.
+func TestRetryDelayDeterministicAndBounded(t *testing.T) {
+	const u = "http://x/v1/list?country=US"
+	if retryDelay(u, "1") != retryDelay(u, "1") {
+		t.Error("retryDelay not deterministic for the same URL")
+	}
+	if d := retryDelay(u, "2") - retryDelay(u, "1"); d != time.Second {
+		t.Errorf("Retry-After 2 vs 1 differ by %v, want exactly 1s", d)
+	}
+	for _, header := range []string{"", "garbage", "-3"} {
+		if d := retryDelay(u, header); d < time.Second || d >= time.Second+250*time.Millisecond {
+			t.Errorf("retryDelay(%q) = %v, want 1s base + <250ms jitter", header, d)
+		}
+	}
+	if d := retryDelay(u, "86400"); d >= maxRetryAfter+250*time.Millisecond {
+		t.Errorf("retryDelay(huge) = %v, not capped at %v", d, maxRetryAfter)
+	}
+	// Distinct URLs jitter apart (these two are chosen to hash apart).
+	if retryDelay(u, "1") == retryDelay(u+"&n=5", "1") {
+		t.Error("distinct URLs got identical jitter")
+	}
+}
+
+// TestFetchRetriesOnceAfterShed: a 503 with Retry-After is retried
+// exactly once after the advertised (jittered) wait, and the retried
+// response is returned.
+func TestFetchRetriesOnceAfterShed(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "shed", http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(w, `{"ok":true}`)
+	}))
+	defer srv.Close()
+
+	log.SetOutput(io.Discard)
+	defer log.SetOutput(log.Default().Writer())
+
+	var waits []time.Duration
+	c := client{
+		base:  srv.URL,
+		http:  srv.Client(),
+		sleep: func(d time.Duration) { waits = append(waits, d) },
+	}
+	body, err := c.fetch("/v1/list", url.Values{"country": {"US"}})
+	if err != nil {
+		t.Fatalf("fetch after shed: %v", err)
+	}
+	if string(body) != `{"ok":true}` {
+		t.Errorf("body %q after retry", body)
+	}
+	if hits.Load() != 2 {
+		t.Errorf("server hit %d times, want 2 (original + one retry)", hits.Load())
+	}
+	want := retryDelay(srv.URL+"/v1/list?country=US", "1")
+	if len(waits) != 1 || waits[0] != want {
+		t.Errorf("waits %v, want exactly [%v]", waits, want)
+	}
+}
+
+// TestFetchGivesUpAfterSecondShed: the retry is bounded — two sheds in
+// a row is a hard error, not a loop.
+func TestFetchGivesUpAfterSecondShed(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "shed", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	log.SetOutput(io.Discard)
+	defer log.SetOutput(log.Default().Writer())
+
+	c := client{base: srv.URL, http: srv.Client(), sleep: func(time.Duration) {}}
+	_, err := c.fetch("/v1/countries", nil)
+	if err == nil || !strings.Contains(err.Error(), "503") {
+		t.Fatalf("err = %v, want a 503 failure", err)
+	}
+	if hits.Load() != 2 {
+		t.Errorf("server hit %d times, want exactly 2", hits.Load())
+	}
+}
+
+// TestFetchDoesNotRetryClientErrors: only sheds are retried; a 400 is
+// final on the first response.
+func TestFetchDoesNotRetryClientErrors(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "bad request", http.StatusBadRequest)
+	}))
+	defer srv.Close()
+
+	c := client{base: srv.URL, http: srv.Client(), sleep: func(time.Duration) {
+		t.Error("slept before a non-retriable status")
+	}}
+	if _, err := c.fetch("/v1/list", nil); err == nil {
+		t.Fatal("400 did not surface as an error")
+	}
+	if hits.Load() != 1 {
+		t.Errorf("server hit %d times, want 1", hits.Load())
+	}
+}

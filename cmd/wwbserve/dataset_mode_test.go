@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"wwb/internal/chrome"
+	"wwb/internal/fleet"
 )
 
 // TestDatasetOnlyMode exercises the -data path: a dataset round-
@@ -23,7 +24,7 @@ func TestDatasetOnlyMode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newDatasetServer(ds).routes(middlewareConfig{}))
+	srv := httptest.NewServer(newDatasetServer(ds, fleet.Assignment{}).routes(middlewareConfig{}))
 	defer srv.Close()
 
 	// Lists work; category is empty without a study.

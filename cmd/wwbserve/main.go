@@ -37,9 +37,25 @@ import (
 	"wwb/internal/chaos"
 	"wwb/internal/chrome"
 	"wwb/internal/core"
+	"wwb/internal/fleet"
 	"wwb/internal/metrics"
 	"wwb/internal/world"
 )
+
+// loadSnapshot is the POST /admin/swap loader: a plain streaming
+// decode, deliberately not the mmap fast path — a swapped-in mapping
+// would have to outlive the request that installed it, and the old
+// epoch's pages must stay valid until its last in-flight request
+// drains. Heap-decoded datasets make both lifetimes GC-managed.
+func loadSnapshot(path string) (*chrome.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ds, _, err := chrome.DecodeAny(f)
+	return ds, err
+}
 
 func main() {
 	log.SetFlags(0)
@@ -48,6 +64,7 @@ func main() {
 	var (
 		addr        = flag.String("addr", "127.0.0.1:8089", "listen address")
 		data        = flag.String("data", "", "serve a wwbgen dataset file (.wwb snapshot or JSON, auto-detected) instead of assembling a study (site categories and experiments unavailable)")
+		shardFlag   = flag.String("shard", "", "serve only shard i/N of the dataset's (country, month) cells, e.g. 1/4 (requires -data; fronted by wwbrouter)")
 		scale       = flag.String("scale", "small", "universe scale: small, default, large, or huge")
 		seed        = flag.Uint64("seed", 42, "world generation seed")
 		febOnly     = flag.Bool("feb-only", true, "assemble February only (faster startup)")
@@ -80,6 +97,16 @@ func main() {
 	defer stop()
 
 	mcfg := middlewareConfig{MaxInFlight: *maxInFlight, RequestTimeout: *reqTimeout, Pprof: *pprofFlag}
+	var shard fleet.Assignment
+	if *shardFlag != "" {
+		if *data == "" {
+			log.Fatal("-shard requires -data: shards serve snapshot slices, not assembled studies")
+		}
+		shard, err = fleet.ParseAssignment(*shardFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
 	var handler http.Handler
 	if *data != "" {
 		f, err := os.Open(*data)
@@ -98,8 +125,12 @@ func main() {
 			log.Fatalf("closing %s: %v", *data, cerr)
 		}
 		logDatasetLoad(*data, ds, info, time.Since(loadStart))
+		srv := newDatasetServer(ds, shard)
+		if !shard.Whole() {
+			log.Printf("shard %s: serving %d of %d rank lists", shard, srv.Dataset().NumLists(), ds.NumLists())
+		}
 		log.Printf("serving on http://%s", *addr)
-		handler = newDatasetServer(ds).routes(mcfg)
+		handler = srv.routes(mcfg)
 	} else {
 		log.Printf("assembling %s study (seed %d)...", *scale, *seed)
 		if cfg.Chaos.Enabled() {

@@ -1,404 +1,57 @@
 package main
 
 import (
-	"encoding/json"
-	"fmt"
-	"log"
 	"net/http"
-	"net/http/pprof"
-	"strconv"
-	"strings"
-	"sync"
 
 	"wwb/internal/chrome"
 	"wwb/internal/core"
-	"wwb/internal/crux"
-	"wwb/internal/endemicity"
 	"wwb/internal/experiments"
-	"wwb/internal/metrics"
-	"wwb/internal/psl"
-	"wwb/internal/world"
+	"wwb/internal/fleet"
 )
 
-// server wraps either a full study or a bare dataset (loaded from a
-// wwbgen file) with HTTP handlers. In dataset-only mode the endpoints
-// that need the categorisation workflow or the world model (/v1/site
-// category, /v1/experiment) are unavailable.
+// server is a thin wrapper over the fleet serving core: the /v1 HTTP
+// API, the hardening middleware, and the swappable dataset epoch all
+// live in internal/fleet (shared with wwbrouter and the fleet tests);
+// this command only wires in the study- or dataset-mode hooks.
 type server struct {
-	study  *core.Study // nil in dataset-only mode
-	ds     *chrome.Dataset
-	month  world.Month
-	runner experiments.Runner
-	// cruxExport computes the public records (a field so tests can
-	// inject a failing first attempt). cruxRecords are computed lazily
-	// on first request; a failed export is NOT cached — the next
-	// request retries — so a one-off panic (e.g. under chaos) cannot
-	// poison the endpoint for the life of the process.
-	cruxExport  func(*chrome.Dataset, world.Month) []crux.Record
-	cruxMu      sync.Mutex
-	cruxReady   bool
-	cruxRecords []crux.Record
+	*fleet.Server
 }
 
+// middlewareConfig aliases the fleet middleware knobs so the flag
+// wiring and the tests read naturally in this package.
+type middlewareConfig = fleet.MiddlewareConfig
+
+// withMiddleware wraps a handler in the fleet hardening stack.
+func withMiddleware(next http.Handler, cfg middlewareConfig) http.Handler {
+	return fleet.WithMiddleware(next, cfg)
+}
+
+// maxListN bounds /v1/list responses.
+const maxListN = fleet.MaxListN
+
+// newServer serves a fully assembled study: site categories and
+// experiments are available.
 func newServer(s *core.Study) *server {
-	return &server{
-		study: s, ds: s.Dataset, month: s.Month,
-		runner:     experiments.Runner{Study: s},
-		cruxExport: crux.Export,
-	}
+	runner := experiments.Runner{Study: s}
+	return &server{fleet.NewServer(s.Dataset, fleet.ServerConfig{
+		Month:        s.Month,
+		Categorize:   func(domain string) string { return string(s.Categorize(domain)) },
+		Experiment:   runner.Run,
+		LoadSnapshot: loadSnapshot,
+	})}
 }
 
-// newDatasetServer serves a bare dataset.
-func newDatasetServer(ds *chrome.Dataset) *server {
-	return &server{ds: ds, month: ds.Opts.DistMonth, cruxExport: crux.Export}
+// newDatasetServer serves a bare dataset (optionally one shard slice).
+func newDatasetServer(ds *chrome.Dataset, shard fleet.Assignment) *server {
+	return &server{fleet.NewServer(ds, fleet.ServerConfig{
+		Shard:        shard,
+		Month:        ds.Opts.DistMonth,
+		LoadSnapshot: loadSnapshot,
+	})}
 }
 
-// categorize labels a domain when a study is available.
-func (s *server) categorize(domain string) string {
-	if s.study == nil {
-		return ""
-	}
-	return string(s.study.Categorize(domain))
-}
-
-// routes builds the route mux wrapped in the hardening middleware
-// stack (request IDs, logging, panic recovery, load shedding,
-// per-request timeout — see middleware.go).
+// routes builds the handler; kept as a lower-case method so existing
+// call sites and tests read unchanged.
 func (s *server) routes(mcfg middlewareConfig) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.Handle("GET /metrics", metrics.Handler(metrics.Default))
-	if mcfg.Pprof {
-		// Opt-in profiling endpoints; opsExempt keeps them outside the
-		// limiter and the per-request timeout so a 30s CPU profile of a
-		// saturated server actually completes.
-		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
-		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
-	}
-	mux.HandleFunc("GET /v1/countries", s.handleCountries)
-	mux.HandleFunc("GET /v1/list", s.handleList)
-	mux.HandleFunc("GET /v1/dist", s.handleDist)
-	mux.HandleFunc("GET /v1/site", s.handleSite)
-	mux.HandleFunc("GET /v1/crux", s.handleCrux)
-	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
-	mux.HandleFunc("GET /v1/experiment/{id}", s.handleExperiment)
-	// Catch-all: unknown paths get the same JSON error envelope as
-	// every other failure, not net/http's plain-text 404 page.
-	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		httpError(w, http.StatusNotFound, "no such endpoint %s", r.URL.Path)
-	})
-	return withMiddleware(mux, mcfg)
-}
-
-// writeJSON sends a JSON response.
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("encoding response: %v", err)
-	}
-}
-
-// httpError sends a JSON error envelope.
-func httpError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
-}
-
-// maxListN bounds /v1/list responses; no rank list is deeper than the
-// assembly's TopN, so anything larger only invites huge allocations.
-const maxListN = 100000
-
-func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-}
-
-func (s *server) handleCountries(w http.ResponseWriter, _ *http.Request) {
-	type country struct {
-		Code      string `json:"code"`
-		Name      string `json:"name"`
-		Continent string `json:"continent"`
-	}
-	var out []country
-	for _, c := range world.Countries() {
-		out = append(out, country{Code: c.Code, Name: c.Name, Continent: c.Continent})
-	}
-	writeJSON(w, http.StatusOK, out)
-}
-
-// parsePlatform maps query values to platforms.
-func parsePlatform(v string) (world.Platform, error) {
-	switch strings.ToLower(v) {
-	case "", "windows", "desktop":
-		return world.Windows, nil
-	case "android", "mobile":
-		return world.Android, nil
-	default:
-		return 0, fmt.Errorf("unknown platform %q (want windows or android)", v)
-	}
-}
-
-// parseMetric maps query values to metrics.
-func parseMetric(v string) (world.Metric, error) {
-	switch strings.ToLower(v) {
-	case "", "loads", "pageloads", "page-loads":
-		return world.PageLoads, nil
-	case "time", "timeonpage", "time-on-page":
-		return world.TimeOnPage, nil
-	default:
-		return 0, fmt.Errorf("unknown metric %q (want loads or time)", v)
-	}
-}
-
-// platformParam renders a platform as its canonical query value, the
-// inverse of parsePlatform.
-func platformParam(p world.Platform) string {
-	if p == world.Android {
-		return "android"
-	}
-	return "windows"
-}
-
-// metricParam renders a metric as its canonical query value, the
-// inverse of parseMetric.
-func metricParam(m world.Metric) string {
-	if m == world.TimeOnPage {
-		return "time"
-	}
-	return "loads"
-}
-
-// parseMonth maps "2021-09".."2022-02" to months; empty means the
-// study's analysis month.
-func (s *server) parseMonth(v string) (world.Month, error) {
-	if v == "" {
-		return s.month, nil
-	}
-	for _, m := range world.StudyMonths {
-		if m.String() == v {
-			return m, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown month %q (want 2021-09 … 2022-02)", v)
-}
-
-func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
-	country := strings.ToUpper(q.Get("country"))
-	if _, ok := world.CountryByCode(country); !ok {
-		httpError(w, http.StatusBadRequest, "unknown country %q", country)
-		return
-	}
-	p, err := parsePlatform(q.Get("platform"))
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	m, err := parseMetric(q.Get("metric"))
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	month, err := s.parseMonth(q.Get("month"))
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	n := 100
-	if raw := q.Get("n"); raw != "" {
-		n, err = strconv.Atoi(raw)
-		if err != nil || n < 1 {
-			httpError(w, http.StatusBadRequest, "invalid n %q", raw)
-			return
-		}
-	}
-	if n > maxListN {
-		n = maxListN
-	}
-	list := s.ds.List(country, p, m, month)
-	if list == nil {
-		httpError(w, http.StatusNotFound, "no list for %s/%s/%s/%s", country, p, m, month)
-		return
-	}
-	// Clamp before allocating: n comes straight from the query, and a
-	// ?n=1000000000 request must not size a multi-GB slice.
-	if n > len(list) {
-		n = len(list)
-	}
-	type entry struct {
-		Rank     int     `json:"rank"`
-		Domain   string  `json:"domain"`
-		Value    float64 `json:"value"`
-		Category string  `json:"category"`
-	}
-	out := make([]entry, 0, n)
-	for i, e := range list.TopN(n) {
-		out = append(out, entry{
-			Rank:     i + 1,
-			Domain:   e.Domain,
-			Value:    e.Value,
-			Category: s.categorize(e.Domain),
-		})
-	}
-	writeJSON(w, http.StatusOK, out)
-}
-
-func (s *server) handleDist(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
-	p, err := parsePlatform(q.Get("platform"))
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	m, err := parseMetric(q.Get("metric"))
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	curve := s.ds.Dist(p, m)
-	if curve == nil {
-		httpError(w, http.StatusNotFound, "no distribution for %s/%s", p, m)
-		return
-	}
-	n := 1000
-	if raw := q.Get("n"); raw != "" {
-		n, err = strconv.Atoi(raw)
-		if err != nil || n < 1 {
-			httpError(w, http.StatusBadRequest, "invalid n %q", raw)
-			return
-		}
-	}
-	if n > curve.Len() {
-		n = curve.Len()
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"sites":  curve.Len(),
-		"shares": curve.Shares[:n],
-		"cum10":  curve.CumShare(10),
-		"cum100": curve.CumShare(100),
-		"cum10k": curve.CumShare(10000),
-		"for25":  curve.SitesForShare(0.25),
-		"for50":  curve.SitesForShare(0.50),
-	})
-}
-
-// handleSite serves a per-site popularity profile. Besides the
-// required ?domain, it honours the same optional query params as the
-// other endpoints: ?platform= (windows|android), ?metric=
-// (loads|time), and ?month= (2021-09 … 2022-02, defaulting to the
-// analysis month).
-func (s *server) handleSite(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
-	domain := q.Get("domain")
-	if domain == "" {
-		httpError(w, http.StatusBadRequest, "missing domain parameter")
-		return
-	}
-	p, err := parsePlatform(q.Get("platform"))
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	m, err := parseMetric(q.Get("metric"))
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	month, err := s.parseMonth(q.Get("month"))
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	key := psl.Default.SiteKey(domain)
-	ranks := map[string]int{}
-	codes := s.ds.Countries
-	ix := s.ds.Index()
-	if id, ok := ix.ID(key); ok {
-		for _, c := range codes {
-			if rank := ix.Rank(c, p, m, month, id); rank > 0 {
-				ranks[c] = rank
-			}
-		}
-	}
-	curve := endemicity.BuildCurve(key, ranks, codes)
-	writeJSON(w, http.StatusOK, map[string]any{
-		"domain":     domain,
-		"key":        key,
-		"platform":   platformParam(p),
-		"metric":     metricParam(m),
-		"month":      month.String(),
-		"category":   s.categorize(domain),
-		"countries":  len(ranks),
-		"ranks":      ranks,
-		"endemicity": curve.Score(),
-		"shape":      endemicity.ClassifyShape(curve).String(),
-		"bestRank":   curve.BestRank(),
-	})
-}
-
-func (s *server) handleCrux(w http.ResponseWriter, r *http.Request) {
-	country := strings.ToUpper(r.URL.Query().Get("country"))
-	if country != "" {
-		if _, ok := world.CountryByCode(country); !ok {
-			httpError(w, http.StatusBadRequest, "unknown country %q", country)
-			return
-		}
-	}
-	recs, err := s.cruxData()
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, "crux export failed: %v", err)
-		return
-	}
-	writeJSON(w, http.StatusOK, crux.Filter(recs, country))
-}
-
-// cruxData lazily computes the public records once and caches only a
-// successful result. The old sync.Once version cached whatever the
-// first attempt did — a panic inside the export (possible under
-// chaos) left the endpoint permanently broken; now the failure is
-// reported and the next request recomputes.
-func (s *server) cruxData() (recs []crux.Record, err error) {
-	s.cruxMu.Lock()
-	defer s.cruxMu.Unlock()
-	if s.cruxReady {
-		return s.cruxRecords, nil
-	}
-	defer func() {
-		if v := recover(); v != nil {
-			recs, err = nil, fmt.Errorf("%v", v)
-		}
-	}()
-	recs = s.cruxExport(s.ds, s.month)
-	s.cruxRecords, s.cruxReady = recs, true
-	return recs, nil
-}
-
-func (s *server) handleExperiments(w http.ResponseWriter, _ *http.Request) {
-	type exp struct {
-		ID    string `json:"id"`
-		Title string `json:"title"`
-	}
-	var out []exp
-	for _, id := range experiments.IDs() {
-		e, _ := experiments.Lookup(id)
-		out = append(out, exp{ID: e.ID, Title: e.Title})
-	}
-	writeJSON(w, http.StatusOK, out)
-}
-
-func (s *server) handleExperiment(w http.ResponseWriter, r *http.Request) {
-	if s.study == nil {
-		httpError(w, http.StatusNotImplemented, "experiments need a full study; restart without -data")
-		return
-	}
-	id := r.PathValue("id")
-	out, err := s.runner.Run(id)
-	if err != nil {
-		httpError(w, http.StatusNotFound, "%v", err)
-		return
-	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprint(w, out)
+	return s.Routes(mcfg)
 }

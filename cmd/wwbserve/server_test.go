@@ -209,13 +209,13 @@ func TestCruxRecoversFromFailedFirstExport(t *testing.T) {
 	// next request retries.
 	srv := newServer(testStudyForDataset)
 	calls := 0
-	srv.cruxExport = func(ds *chrome.Dataset, m world.Month) []crux.Record {
+	srv.SetCruxExport(func(ds *chrome.Dataset, m world.Month) []crux.Record {
 		calls++
 		if calls == 1 {
 			panic("chaos: injected export failure")
 		}
 		return crux.Export(ds, m)
-	}
+	})
 	ts := httptest.NewServer(srv.routes(middlewareConfig{}))
 	defer ts.Close()
 

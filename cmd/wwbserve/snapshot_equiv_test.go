@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"wwb/internal/chrome"
+	"wwb/internal/fleet"
 	"wwb/internal/psl"
 	"wwb/internal/telemetry"
 	"wwb/internal/world"
@@ -68,9 +69,9 @@ func TestSnapshotServedResponsesByteIdentical(t *testing.T) {
 		t.Fatalf("format = %q, want wwb", info.Format)
 	}
 
-	memSrv := httptest.NewServer(newDatasetServer(ds8).routes(middlewareConfig{}))
+	memSrv := httptest.NewServer(newDatasetServer(ds8, fleet.Assignment{}).routes(middlewareConfig{}))
 	defer memSrv.Close()
-	snapSrv := httptest.NewServer(newDatasetServer(snap).routes(middlewareConfig{}))
+	snapSrv := httptest.NewServer(newDatasetServer(snap, fleet.Assignment{}).routes(middlewareConfig{}))
 	defer snapSrv.Close()
 
 	for _, path := range equivPaths {

@@ -1,0 +1,52 @@
+package chrome
+
+import (
+	"wwb/internal/world"
+)
+
+// ShardView returns a filtered view of the dataset for fleet serving:
+// only the rank lists and coverage values of (country, month) cells
+// the keep function claims survive. The full country roster, month
+// window, assembly options, and the global distribution curves are
+// retained — the curves are whole-dataset aggregates that every shard
+// serves identically, and the roster is what lets a router reassemble
+// cross-shard answers in the canonical country order.
+//
+// The view shares the kept per-cell slices and the distribution
+// curves with the receiver (both are immutable after assembly), so a
+// slice costs O(kept cells) map entries, not a copy of the data. The
+// view builds its own lazy KeyIndex over the surviving lists; the
+// receiver's index, if already built, is untouched.
+func (d *Dataset) ShardView(keep func(country string, month world.Month) bool) *Dataset {
+	out := &Dataset{
+		Opts:      d.Opts,
+		Countries: d.Countries,
+		Months:    d.Months,
+		lists:     make(map[string]RankList),
+		dist:      d.dist,
+		coverage:  make(map[string]float64),
+	}
+	for _, c := range d.Countries {
+		for _, month := range d.Months {
+			if !keep(c, month) {
+				continue
+			}
+			for _, p := range world.Platforms {
+				for _, m := range world.Metrics {
+					k := listKey(c, p, m, month)
+					if l, ok := d.lists[k]; ok {
+						out.lists[k] = l
+					}
+					if v, ok := d.coverage[k]; ok {
+						out.coverage[k] = v
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// NumLists reports how many per-cell rank lists the dataset holds —
+// for a ShardView, the size of the owned slice. Observability only.
+func (d *Dataset) NumLists() int { return len(d.lists) }

@@ -40,12 +40,27 @@ type Record struct {
 // volumes per domain across countries (Windows and Android combined,
 // like the public dataset's cross-platform aggregation).
 func Export(ds *chrome.Dataset, month world.Month) []Record {
+	return ExportFrom(ds.Countries, func(country string, p world.Platform) chrome.RankList {
+		return ds.List(country, p, world.PageLoads, month)
+	})
+}
+
+// ExportFrom is Export over an arbitrary list source: countries are
+// visited in the given order, and each country's page-load lists come
+// from the list function (platforms in canonical order). The global
+// volumes accumulate entry by entry in exactly that visit order —
+// float addition is not associative, so a caller reassembling the
+// export from shard-fetched lists (the fleet router) reproduces
+// byte-identical buckets only by replaying this precise order, which
+// is why the accumulation loop lives here once rather than being
+// duplicated at the router.
+func ExportFrom(countries []string, list func(country string, p world.Platform) chrome.RankList) []Record {
 	var out []Record
 	globalVolume := map[string]float64{}
-	for _, country := range ds.Countries {
+	for _, country := range countries {
 		perCountry := map[string]float64{}
 		for _, p := range world.Platforms {
-			for _, e := range ds.List(country, p, world.PageLoads, month) {
+			for _, e := range list(country, p) {
 				perCountry[e.Domain] += e.Value
 				globalVolume[e.Domain] += e.Value
 			}

@@ -1,0 +1,190 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+
+	"wwb/internal/chrome"
+	"wwb/internal/world"
+)
+
+// startShards hosts n shard servers in-process over slices of ds and
+// returns their base URLs grouped for RouterConfig.
+func startShards(t *testing.T, ds *chrome.Dataset, n int, loader func(string) (*chrome.Dataset, error)) [][]string {
+	t.Helper()
+	var groups [][]string
+	for i := 0; i < n; i++ {
+		srv := NewServer(ds, ServerConfig{
+			Shard:        Assignment{Index: i, Count: n},
+			Month:        ds.Opts.DistMonth,
+			LoadSnapshot: loader,
+		})
+		ts := httptest.NewServer(srv.Routes(MiddlewareConfig{}))
+		t.Cleanup(ts.Close)
+		groups = append(groups, []string{ts.URL})
+	}
+	return groups
+}
+
+// startRouter fronts the groups with an in-process router.
+func startRouter(t *testing.T, groups [][]string) *httptest.Server {
+	t.Helper()
+	rt, err := NewRouter(RouterConfig{Shards: groups})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(rt.Routes(MiddlewareConfig{}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// fetch returns status, content type, and body for one GET.
+func fetch(t *testing.T, base, path string) (int, string, []byte) {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), body
+}
+
+// equivPaths builds the route matrix the fleet must serve identically
+// to a single process: every endpoint, both platforms and metrics,
+// both assembled months, plus the error paths (the router validates
+// locally, so even the failure envelopes must match byte for byte).
+func equivPaths(ds *chrome.Dataset) []string {
+	paths := []string{
+		"/v1/countries",
+		"/v1/experiments",
+		"/v1/experiment/fig1",
+		"/v1/crux",
+		"/v1/crux?country=ZZ",
+		"/v1/dist",
+		"/v1/dist?platform=android&metric=time&n=50",
+		"/v1/dist?platform=ios",
+		"/v1/list?country=XX",
+		"/v1/list?country=US&platform=ios",
+		"/v1/list?country=US&metric=clicks",
+		"/v1/list?country=US&month=2020-01",
+		"/v1/list?country=US&n=zero",
+		"/v1/site",
+		"/v1/site?domain=example.com&platform=ios",
+		"/no/such/endpoint",
+	}
+	months := append([]string{""}, "2022-01", "2022-02")
+	var domains []string
+	for _, c := range ds.Countries {
+		for _, m := range months {
+			for _, p := range []string{"windows", "android"} {
+				for _, metric := range []string{"loads", "time"} {
+					q := url.Values{"country": {c}, "platform": {p}, "metric": {metric}, "n": {"25"}}
+					if m != "" {
+						q.Set("month", m)
+					}
+					paths = append(paths, "/v1/list?"+q.Encode())
+				}
+			}
+		}
+		paths = append(paths, "/v1/crux?country="+c)
+		if l := ds.List(c, world.Windows, world.PageLoads, ds.Opts.DistMonth); len(l) > 0 {
+			domains = append(domains, l[0].Domain)
+			if len(l) > 7 {
+				domains = append(domains, l[7].Domain)
+			}
+		}
+	}
+	domains = append(domains, "no-such-site.example")
+	seen := map[string]bool{}
+	for _, d := range domains {
+		if seen[d] {
+			continue
+		}
+		seen[d] = true
+		for _, p := range []string{"", "android"} {
+			q := url.Values{"domain": {d}}
+			if p != "" {
+				q.Set("platform", p)
+			}
+			paths = append(paths, "/v1/site?"+q.Encode())
+		}
+		paths = append(paths, "/v1/site?"+url.Values{"domain": {d}, "metric": {"time"}, "month": {"2022-01"}}.Encode())
+	}
+	return paths
+}
+
+// TestFleetByteEquivalence is the fleet acceptance test: a router over
+// N ∈ {1, 2, 4} shard servers must answer every /v1 route with the
+// exact bytes a single unsharded server produces — status, content
+// type, and body.
+func TestFleetByteEquivalence(t *testing.T) {
+	log.SetOutput(io.Discard)
+	defer log.SetOutput(prevWriter())
+
+	single := httptest.NewServer(
+		NewServer(fleetDS, ServerConfig{Month: fleetDS.Opts.DistMonth}).Routes(MiddlewareConfig{}))
+	defer single.Close()
+
+	paths := equivPaths(fleetDS)
+	if len(paths) < 100 {
+		t.Fatalf("only %d equivalence paths — matrix generation is broken", len(paths))
+	}
+
+	for _, n := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", n), func(t *testing.T) {
+			router := startRouter(t, startShards(t, fleetDS, n, nil))
+			diffs := 0
+			for _, path := range paths {
+				wantStatus, wantCT, wantBody := fetch(t, single.URL, path)
+				gotStatus, gotCT, gotBody := fetch(t, router.URL, path)
+				if gotStatus != wantStatus {
+					t.Errorf("%s: status %d, want %d", path, gotStatus, wantStatus)
+					diffs++
+				} else if gotCT != wantCT {
+					t.Errorf("%s: content type %q, want %q", path, gotCT, wantCT)
+					diffs++
+				} else if string(gotBody) != string(wantBody) {
+					t.Errorf("%s: body diverges\n rout: %.200s\n want: %.200s", path, gotBody, wantBody)
+					diffs++
+				}
+				if diffs > 10 {
+					t.Fatalf("more than 10 divergent paths; aborting the matrix")
+				}
+			}
+		})
+	}
+}
+
+// TestFleetListsRouteToOwningShard spot-checks the routing invariant
+// behind the equivalence: a shard slice really only holds its owned
+// cells, so a correct /v1/list answer proves the router picked the
+// owner.
+func TestFleetListsRouteToOwningShard(t *testing.T) {
+	log.SetOutput(io.Discard)
+	defer log.SetOutput(prevWriter())
+
+	const n = 4
+	router := startRouter(t, startShards(t, fleetDS, n, nil))
+	for _, c := range fleetDS.Countries {
+		for _, m := range fleetDS.Months {
+			status, _, body := fetch(t, router.URL,
+				"/v1/list?country="+c+"&month="+m.String()+"&n=5")
+			if full := fleetDS.List(c, world.Windows, world.PageLoads, m); full == nil {
+				if status != http.StatusNotFound {
+					t.Errorf("%s/%s: status %d for absent cell, want 404", c, m, status)
+				}
+			} else if status != http.StatusOK {
+				t.Errorf("%s/%s: status %d (%s), want 200", c, m, status, body)
+			}
+		}
+	}
+}

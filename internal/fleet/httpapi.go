@@ -1,0 +1,91 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+
+	"wwb/internal/world"
+)
+
+// EpochHeader carries the dataset epoch a response was served from.
+// The router checks it across a fan-out's sub-responses so a merged
+// response is never assembled from two different dataset epochs while
+// a swap is in flight.
+const EpochHeader = "X-Wwb-Epoch"
+
+// MaxListN bounds /v1/list responses; no rank list is deeper than the
+// assembly's TopN, so anything larger only invites huge allocations.
+const MaxListN = 100000
+
+// WriteJSON sends a JSON response.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("encoding response: %v", err)
+	}
+}
+
+// HTTPError sends a JSON error envelope.
+func HTTPError(w http.ResponseWriter, status int, format string, args ...any) {
+	WriteJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// ParsePlatform maps query values to platforms.
+func ParsePlatform(v string) (world.Platform, error) {
+	switch strings.ToLower(v) {
+	case "", "windows", "desktop":
+		return world.Windows, nil
+	case "android", "mobile":
+		return world.Android, nil
+	default:
+		return 0, fmt.Errorf("unknown platform %q (want windows or android)", v)
+	}
+}
+
+// ParseMetric maps query values to metrics.
+func ParseMetric(v string) (world.Metric, error) {
+	switch strings.ToLower(v) {
+	case "", "loads", "pageloads", "page-loads":
+		return world.PageLoads, nil
+	case "time", "timeonpage", "time-on-page":
+		return world.TimeOnPage, nil
+	default:
+		return 0, fmt.Errorf("unknown metric %q (want loads or time)", v)
+	}
+}
+
+// PlatformParam renders a platform as its canonical query value, the
+// inverse of ParsePlatform.
+func PlatformParam(p world.Platform) string {
+	if p == world.Android {
+		return "android"
+	}
+	return "windows"
+}
+
+// MetricParam renders a metric as its canonical query value, the
+// inverse of ParseMetric.
+func MetricParam(m world.Metric) string {
+	if m == world.TimeOnPage {
+		return "time"
+	}
+	return "loads"
+}
+
+// ParseMonth maps "2021-09".."2022-02" to months; empty means def (the
+// serving dataset's analysis month).
+func ParseMonth(v string, def world.Month) (world.Month, error) {
+	if v == "" {
+		return def, nil
+	}
+	for _, m := range world.StudyMonths {
+		if m.String() == v {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown month %q (want 2021-09 … 2022-02)", v)
+}

@@ -1,0 +1,306 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Generator produces a seed-deterministic query mix against the /v1
+// API: zipfian country and domain choice (traffic concentrates on the
+// head, like real browsing — the paper's core observation), a fixed
+// route mix, and uniform platform/metric/month spread. The same seed
+// and rosters always yield the same query sequence, byte for byte, so
+// load runs are reproducible and failures replayable.
+type Generator struct {
+	rng       *rand.Rand
+	countryZ  *rand.Zipf
+	domainZ   *rand.Zipf
+	countries []string
+	domains   []string
+	months    []string
+}
+
+// NewGenerator builds a deterministic generator. The rosters order is
+// significant: index 0 is the zipfian head. Empty rosters fall back to
+// minimal defaults so the generator never divides by zero.
+func NewGenerator(seed uint64, countries, domains, months []string) *Generator {
+	if len(countries) == 0 {
+		countries = []string{"US"}
+	}
+	if len(domains) == 0 {
+		domains = []string{"site-0000.example"}
+	}
+	if len(months) == 0 {
+		months = []string{""}
+	}
+	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	return &Generator{
+		rng:       rng,
+		countryZ:  rand.NewZipf(rng, 1.2, 1, uint64(len(countries)-1)),
+		domainZ:   rand.NewZipf(rng, 1.2, 1, uint64(len(domains)-1)),
+		countries: countries,
+		domains:   domains,
+		months:    months,
+	}
+}
+
+// Next returns the next query path in the deterministic sequence. Not
+// safe for concurrent use — the dispatcher calls it from one
+// goroutine, which is what keeps the sequence reproducible.
+func (g *Generator) Next() string {
+	platform := [2]string{"windows", "android"}[g.rng.IntN(2)]
+	metric := [2]string{"loads", "time"}[g.rng.IntN(2)]
+	month := g.months[g.rng.IntN(len(g.months))]
+	switch roll := g.rng.IntN(100); {
+	case roll < 55: // rank lists dominate real mixes
+		country := g.countries[g.countryZ.Uint64()]
+		q := url.Values{"country": {country}, "platform": {platform}, "metric": {metric}}
+		if month != "" {
+			q.Set("month", month)
+		}
+		q.Set("n", strconv.Itoa(10+g.rng.IntN(90)))
+		return "/v1/list?" + q.Encode()
+	case roll < 75: // per-site profiles (cross-shard fan-out)
+		domain := g.domains[g.domainZ.Uint64()]
+		q := url.Values{"domain": {domain}, "platform": {platform}, "metric": {metric}}
+		return "/v1/site?" + q.Encode()
+	case roll < 85: // global distribution curves
+		q := url.Values{"platform": {platform}, "metric": {metric}}
+		return "/v1/dist?" + q.Encode()
+	case roll < 92: // public bucket export
+		country := g.countries[g.countryZ.Uint64()]
+		return "/v1/crux?country=" + url.QueryEscape(country)
+	case roll < 97:
+		return "/v1/countries"
+	default:
+		return "/v1/experiments"
+	}
+}
+
+// LoadConfig shapes one replay run.
+type LoadConfig struct {
+	// BaseURL is the server or router under load.
+	BaseURL string
+	// Seed drives the deterministic query sequence.
+	Seed uint64
+	// RPS is the open-loop offered rate (requests started per second,
+	// independent of completions — slow responses do not slow the
+	// generator, exactly like real clients piling on).
+	RPS float64
+	// Duration bounds the run.
+	Duration time.Duration
+	// Workers bounds concurrent in-flight requests; dispatches beyond
+	// it are dropped and counted (an overloaded client is itself a
+	// finding). 0 means 4×RPS capped to [8, 512].
+	Workers int
+	// Countries, Domains, Months are the generator rosters.
+	Countries, Domains, Months []string
+	// Client performs requests; nil uses a 10s-timeout client.
+	Client *http.Client
+}
+
+// LoadReport summarises one replay run.
+type LoadReport struct {
+	Target   string  `json:"target"`
+	Seed     uint64  `json:"seed"`
+	RPS      float64 `json:"rps"`
+	Duration string  `json:"duration"`
+	Sent     int     `json:"sent"`
+	OK       int     `json:"ok"`
+	Shed     int     `json:"shed"`
+	Errors   int     `json:"errors"`
+	Dropped  int     `json:"dropped"` // dispatches the client itself could not start
+	ShedRate float64 `json:"shedRate"`
+	P50Ms    float64 `json:"p50Ms"`
+	P90Ms    float64 `json:"p90Ms"`
+	P99Ms    float64 `json:"p99Ms"`
+	MaxMs    float64 `json:"maxMs"`
+}
+
+// SLO is the acceptance envelope a load run is judged against.
+type SLO struct {
+	P99Ms       float64 `json:"p99Ms"`
+	MaxShedRate float64 `json:"maxShedRate"`
+	MaxErrors   int     `json:"maxErrors"`
+}
+
+// Check returns the SLO violations, empty when the run passed. Zero
+// thresholds are unset (not asserted) except MaxErrors, which always
+// applies — a load run with transport errors is never a pass.
+func (s SLO) Check(r LoadReport) []string {
+	var out []string
+	if s.P99Ms > 0 && r.P99Ms > s.P99Ms {
+		out = append(out, fmt.Sprintf("p99 %.1fms exceeds SLO %.1fms", r.P99Ms, s.P99Ms))
+	}
+	if r.ShedRate > s.MaxShedRate {
+		out = append(out, fmt.Sprintf("shed rate %.4f exceeds SLO %.4f", r.ShedRate, s.MaxShedRate))
+	}
+	if r.Errors > s.MaxErrors {
+		out = append(out, fmt.Sprintf("%d errors exceed SLO %d", r.Errors, s.MaxErrors))
+	}
+	return out
+}
+
+// Percentile returns the q-quantile (0 < q <= 1) of latencies using
+// the nearest-rank definition: sorted[ceil(q·N)]. Deterministic and
+// exact — no interpolation — so tests can assert precise values.
+func Percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(float64(len(sorted))*q + 0.9999999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// Tally folds raw request outcomes into a report; split out of RunLoad
+// so the accounting is unit-testable without a live server. latenciesMs
+// is mutated (sorted).
+func Tally(r LoadReport, latenciesMs []float64) LoadReport {
+	if r.Sent > 0 {
+		r.ShedRate = float64(r.Shed) / float64(r.Sent)
+	}
+	sort.Float64s(latenciesMs)
+	r.P50Ms = Percentile(latenciesMs, 0.50)
+	r.P90Ms = Percentile(latenciesMs, 0.90)
+	r.P99Ms = Percentile(latenciesMs, 0.99)
+	if n := len(latenciesMs); n > 0 {
+		r.MaxMs = latenciesMs[n-1]
+	}
+	return r
+}
+
+// RunLoad replays the deterministic query mix against cfg.BaseURL at
+// the configured open-loop rate and returns the latency/shed report.
+// Classification: 2xx is OK, 503 is a shed (the server's deliberate
+// answer under load — not an error), anything else (including
+// transport failures) is an error.
+func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
+	if cfg.RPS <= 0 {
+		return LoadReport{}, fmt.Errorf("RPS must be positive, got %v", cfg.RPS)
+	}
+	if cfg.Duration <= 0 {
+		return LoadReport{}, fmt.Errorf("duration must be positive, got %v", cfg.Duration)
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = int(cfg.RPS * 4)
+		if workers < 8 {
+			workers = 8
+		}
+		if workers > 512 {
+			workers = 512
+		}
+	}
+	gen := NewGenerator(cfg.Seed, cfg.Countries, cfg.Domains, cfg.Months)
+	report := LoadReport{
+		Target:   cfg.BaseURL,
+		Seed:     cfg.Seed,
+		RPS:      cfg.RPS,
+		Duration: cfg.Duration.String(),
+	}
+
+	var (
+		mu          sync.Mutex
+		latenciesMs []float64
+	)
+	record := func(status int, err error, d time.Duration) {
+		mu.Lock()
+		defer mu.Unlock()
+		switch {
+		case err != nil:
+			report.Errors++
+		case status == http.StatusServiceUnavailable:
+			report.Shed++
+			latenciesMs = append(latenciesMs, float64(d)/float64(time.Millisecond))
+		case status >= 200 && status < 300:
+			report.OK++
+			latenciesMs = append(latenciesMs, float64(d)/float64(time.Millisecond))
+		default:
+			report.Errors++
+		}
+	}
+
+	jobs := make(chan string)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for path := range jobs {
+				start := time.Now()
+				status, err := doOne(ctx, client, cfg.BaseURL+path)
+				record(status, err, time.Since(start))
+			}
+		}()
+	}
+
+	// Open-loop dispatch: one goroutine walks the deterministic query
+	// sequence on a fixed-interval ticker. A tick with no idle worker
+	// is a drop, not a stall — backpressure must not throttle the
+	// offered rate, or the measured shed rate understates overload.
+	interval := time.Duration(float64(time.Second) / cfg.RPS)
+	ticker := time.NewTicker(interval)
+	deadline := time.NewTimer(cfg.Duration)
+	defer ticker.Stop()
+	defer deadline.Stop()
+dispatch:
+	for {
+		select {
+		case <-ctx.Done():
+			break dispatch
+		case <-deadline.C:
+			break dispatch
+		case <-ticker.C:
+			path := gen.Next()
+			report.Sent++
+			select {
+			case jobs <- path:
+			default:
+				report.Dropped++
+				report.Sent-- // never started; not part of the offered count
+			}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	report = Tally(report, latenciesMs)
+	if err := ctx.Err(); err != nil && err != context.Canceled {
+		return report, err
+	}
+	return report, nil
+}
+
+// doOne performs a single load request, draining and discarding the
+// body so connections are reused.
+func doOne(ctx context.Context, client *http.Client, u string) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}

@@ -1,0 +1,185 @@
+package fleet
+
+import (
+	"context"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+var genCountries = []string{"US", "DE", "IN", "JP", "BR"}
+var genDomains = []string{"a.example", "b.example", "c.example", "d.example"}
+var genMonths = []string{"", "2022-01", "2022-02"}
+
+// TestGeneratorDeterminism: the same seed must yield the identical
+// query sequence — that is what makes load runs replayable — and a
+// different seed must diverge.
+func TestGeneratorDeterminism(t *testing.T) {
+	seq := func(seed uint64) []string {
+		g := NewGenerator(seed, genCountries, genDomains, genMonths)
+		out := make([]string, 500)
+		for i := range out {
+			out[i] = g.Next()
+		}
+		return out
+	}
+	a, b := seq(7), seq(7)
+	if !reflect.DeepEqual(a, b) {
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("same seed diverges at query %d: %q vs %q", i, a[i], b[i])
+			}
+		}
+	}
+	if reflect.DeepEqual(a, seq(8)) {
+		t.Fatal("different seeds produced the identical 500-query sequence")
+	}
+	// Every generated path must be a well-formed /v1 query.
+	routes := map[string]int{}
+	for _, p := range a {
+		i := strings.IndexByte(p, '?')
+		route := p
+		if i >= 0 {
+			route = p[:i]
+		}
+		routes[route]++
+	}
+	for _, want := range []string{"/v1/list", "/v1/site", "/v1/dist", "/v1/crux", "/v1/countries"} {
+		if routes[want] == 0 {
+			t.Errorf("route %s never generated in 500 queries (mix: %v)", want, routes)
+		}
+	}
+	// The zipfian head must dominate: the top country should appear in
+	// far more list queries than the tail country.
+	head := strings.Count(strings.Join(a, "\n"), "country=US")
+	tail := strings.Count(strings.Join(a, "\n"), "country=BR")
+	if head <= tail*2 {
+		t.Errorf("zipfian skew missing: head US %d vs tail BR %d", head, tail)
+	}
+}
+
+// TestPercentileNearestRank pins the exact percentile definition.
+func TestPercentileNearestRank(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0.50, 5}, {0.90, 9}, {0.99, 10}, {1.0, 10}, {0.01, 1}, {0.10, 1},
+	}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.q); got != c.want {
+			t.Errorf("Percentile(1..10, %v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := Percentile(nil, 0.99); got != 0 {
+		t.Errorf("Percentile(nil) = %v, want 0", got)
+	}
+	if got := Percentile([]float64{42}, 0.5); got != 42 {
+		t.Errorf("Percentile([42], .5) = %v, want 42", got)
+	}
+}
+
+// TestTallyExactAccounting pins the shed-rate and percentile fold.
+func TestTallyExactAccounting(t *testing.T) {
+	r := Tally(LoadReport{Sent: 200, OK: 150, Shed: 50},
+		[]float64{40, 10, 20, 30}) // unsorted on purpose
+	if r.ShedRate != 0.25 {
+		t.Errorf("shed rate %v, want 0.25", r.ShedRate)
+	}
+	if r.P50Ms != 20 || r.P90Ms != 40 || r.P99Ms != 40 || r.MaxMs != 40 {
+		t.Errorf("percentiles p50=%v p90=%v p99=%v max=%v", r.P50Ms, r.P90Ms, r.P99Ms, r.MaxMs)
+	}
+	if z := Tally(LoadReport{}, nil); z.ShedRate != 0 || z.P99Ms != 0 {
+		t.Errorf("empty tally not zero: %+v", z)
+	}
+}
+
+// TestSLOCheck pins the pass/fail envelope.
+func TestSLOCheck(t *testing.T) {
+	r := LoadReport{P99Ms: 120, ShedRate: 0.02, Errors: 1}
+	if v := (SLO{}).Check(LoadReport{}); len(v) != 0 {
+		t.Errorf("empty SLO on empty report: %v", v)
+	}
+	if v := (SLO{P99Ms: 100}).Check(r); len(v) != 3 {
+		// p99 120 > 100, shed 0.02 > 0, errors 1 > 0.
+		t.Errorf("want 3 violations, got %v", v)
+	}
+	if v := (SLO{P99Ms: 200, MaxShedRate: 0.05, MaxErrors: 2}).Check(r); len(v) != 0 {
+		t.Errorf("passing run flagged: %v", v)
+	}
+}
+
+// TestRunLoadExactShedAccounting replays against a server that sheds
+// deterministically and cross-checks the client's classification
+// against the server's own counters: every 503 the server sent must
+// appear as a shed, every 200 as an OK, and nothing as an error.
+func TestRunLoadExactShedAccounting(t *testing.T) {
+	log.SetOutput(io.Discard)
+	defer log.SetOutput(prevWriter())
+
+	var served200, served503 atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if (served200.Load()+served503.Load())%3 == 2 {
+			served503.Add(1)
+			w.Header().Set("Retry-After", "1")
+			HTTPError(w, http.StatusServiceUnavailable, "deterministic shed")
+			return
+		}
+		served200.Add(1)
+		WriteJSON(w, http.StatusOK, map[string]string{"ok": "yes"})
+	}))
+	defer srv.Close()
+
+	report, err := RunLoad(context.Background(), LoadConfig{
+		BaseURL:   srv.URL,
+		Seed:      3,
+		RPS:       400,
+		Duration:  300 * time.Millisecond,
+		Workers:   16,
+		Countries: genCountries,
+		Domains:   genDomains,
+		Months:    genMonths,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Sent == 0 {
+		t.Fatal("no requests sent")
+	}
+	if int64(report.OK) != served200.Load() {
+		t.Errorf("client OK %d != server 200s %d", report.OK, served200.Load())
+	}
+	if int64(report.Shed) != served503.Load() {
+		t.Errorf("client shed %d != server 503s %d", report.Shed, served503.Load())
+	}
+	if report.Errors != 0 {
+		t.Errorf("errors %d, want 0", report.Errors)
+	}
+	if got := report.OK + report.Shed; got != report.Sent {
+		t.Errorf("OK %d + shed %d != sent %d", report.OK, report.Shed, report.Sent)
+	}
+	wantRate := float64(report.Shed) / float64(report.Sent)
+	if report.ShedRate != wantRate {
+		t.Errorf("shed rate %v, want exactly %v", report.ShedRate, wantRate)
+	}
+	if report.P99Ms < report.P50Ms || report.MaxMs < report.P99Ms {
+		t.Errorf("percentiles not monotone: %+v", report)
+	}
+}
+
+// TestRunLoadRejectsBadConfig pins the argument validation.
+func TestRunLoadRejectsBadConfig(t *testing.T) {
+	if _, err := RunLoad(context.Background(), LoadConfig{RPS: 0, Duration: time.Second}); err == nil {
+		t.Error("RPS 0 accepted")
+	}
+	if _, err := RunLoad(context.Background(), LoadConfig{RPS: 10, Duration: 0}); err == nil {
+		t.Error("duration 0 accepted")
+	}
+}

@@ -1,4 +1,4 @@
-package main
+package fleet
 
 import (
 	"context"
@@ -6,14 +6,42 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"wwb/internal/metrics"
 )
 
-// middlewareConfig tunes the hardening stack wrapped around the route
+// HTTP-layer metrics, exposed on GET /metrics. Routes are labelled by
+// pattern, not raw path, so cardinality stays bounded no matter what
+// clients request. Shared by every fleet HTTP process (shard servers
+// and the router alike).
+var (
+	mHTTPRequests = metrics.Default.CounterVec(
+		"http_requests_total",
+		"HTTP requests served, by route pattern and status class.",
+		"route", "class")
+	mHTTPDuration = metrics.Default.HistogramVec(
+		"http_request_duration_seconds",
+		"HTTP request handling latency by route pattern.",
+		metrics.DefBuckets,
+		"route")
+	mHTTPInFlight = metrics.Default.Gauge(
+		"http_in_flight",
+		"Requests currently inside the middleware stack.")
+	mHTTPSheds = metrics.Default.Counter(
+		"http_sheds_total",
+		"Requests shed with 503 by the in-flight limiter.")
+	mHTTPPanics = metrics.Default.Counter(
+		"http_panics_total",
+		"Handler panics converted to JSON 500 responses.")
+)
+
+// MiddlewareConfig tunes the hardening stack wrapped around the route
 // mux. The zero value disables the limiter and the timeout.
-type middlewareConfig struct {
+type MiddlewareConfig struct {
 	// MaxInFlight bounds concurrently served requests; excess requests
 	// are shed immediately with 503 + Retry-After. 0 means unlimited.
 	MaxInFlight int
@@ -28,13 +56,41 @@ type middlewareConfig struct {
 // opsExempt reports whether a request bypasses the in-flight limiter
 // and the per-request timeout. Health checks must answer 200 on a
 // merely-busy server — a load balancer that gets a shed 503 from
-// /healthz would evict a healthy instance — and the observability
+// /healthz would evict a healthy instance — the observability
 // endpoints (/metrics scrapes, pprof profiles that legitimately run
 // for 30s) are exactly what an operator needs while the server is
-// saturated.
+// saturated, and /admin/swap must not be shed or deadline-killed
+// mid-rollover precisely when the fleet is busiest.
 func opsExempt(r *http.Request) bool {
 	p := r.URL.Path
-	return p == "/healthz" || p == "/metrics" || strings.HasPrefix(p, "/debug/pprof")
+	return p == "/healthz" || p == "/metrics" ||
+		strings.HasPrefix(p, "/debug/pprof") || strings.HasPrefix(p, "/admin/")
+}
+
+// routeLabel maps a request to its route pattern for metric labels.
+// Unknown paths collapse into "other" so a path-scanning client
+// cannot blow up series cardinality.
+func routeLabel(r *http.Request) string {
+	p := r.URL.Path
+	switch p {
+	case "/healthz", "/metrics",
+		"/v1/countries", "/v1/list", "/v1/dist", "/v1/site", "/v1/crux", "/v1/experiments",
+		"/admin/swap", "/shard/info", "/shard/lists":
+		return p
+	}
+	switch {
+	case strings.HasPrefix(p, "/v1/experiment/"):
+		return "/v1/experiment/{id}"
+	case strings.HasPrefix(p, "/debug/pprof"):
+		return "/debug/pprof"
+	default:
+		return "other"
+	}
+}
+
+// statusClass buckets a status code into 2xx/3xx/4xx/5xx.
+func statusClass(status int) string {
+	return strconv.Itoa(status/100) + "xx"
 }
 
 // statusRecorder wraps a ResponseWriter to capture the status code and
@@ -74,22 +130,22 @@ type requestIDKey struct{}
 
 var requestCounter atomic.Uint64
 
-// requestID returns the ID assigned to the request, or "-".
-func requestID(ctx context.Context) string {
+// RequestID returns the ID assigned to the request, or "-".
+func RequestID(ctx context.Context) string {
 	if id, ok := ctx.Value(requestIDKey{}).(string); ok {
 		return id
 	}
 	return "-"
 }
 
-// withMiddleware wraps the route mux in the hardening stack, outermost
+// WithMiddleware wraps a route mux in the hardening stack, outermost
 // first: request-ID assignment, request logging (status, bytes,
 // duration), metrics instrumentation, panic recovery, the in-flight
 // limiter, and the per-request timeout. Ordering matters — the logger
 // and the instrumentation sit outside recovery and the limiter so
 // 500s and 503s appear in the log and the counters with their final
 // status.
-func withMiddleware(next http.Handler, cfg middlewareConfig) http.Handler {
+func WithMiddleware(next http.Handler, cfg MiddlewareConfig) http.Handler {
 	h := next
 	h = timeoutRequests(h, cfg.RequestTimeout)
 	h = limitInFlight(h, cfg.MaxInFlight)
@@ -123,7 +179,27 @@ func logRequests(next http.Handler) http.Handler {
 		}
 		log.Printf("%s %s %d %dB %s %s",
 			r.Method, r.URL, rec.status, rec.bytes,
-			time.Since(start).Round(time.Microsecond), requestID(r.Context()))
+			time.Since(start).Round(time.Microsecond), RequestID(r.Context()))
+	})
+}
+
+// instrumentRequests records the per-route request counter, latency
+// histogram, and the in-flight gauge. It sits outside the recovery
+// and shedding layers so panic 500s and limiter 503s are counted like
+// any other response.
+func instrumentRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		route := routeLabel(r)
+		mHTTPInFlight.Inc()
+		defer mHTTPInFlight.Dec()
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		mHTTPRequests.With(route, statusClass(rec.status)).Inc()
+		mHTTPDuration.With(route).Observe(time.Since(start).Seconds())
 	})
 }
 
@@ -146,8 +222,8 @@ func recoverPanics(next http.Handler) http.Handler {
 					panic(v)
 				}
 				mHTTPPanics.Inc()
-				log.Printf("panic serving %s %s (%s): %v", r.Method, r.URL, requestID(r.Context()), v)
-				httpError(w, http.StatusInternalServerError, "internal error (request %s)", requestID(r.Context()))
+				log.Printf("panic serving %s %s (%s): %v", r.Method, r.URL, RequestID(r.Context()), v)
+				HTTPError(w, http.StatusInternalServerError, "internal error (request %s)", RequestID(r.Context()))
 			}
 		}()
 		next.ServeHTTP(w, r)
@@ -157,8 +233,8 @@ func recoverPanics(next http.Handler) http.Handler {
 // limitInFlight sheds load once max requests are already being served:
 // excess requests get an immediate 503 with Retry-After instead of
 // queueing behind a saturated server. Requests opsExempt recognises
-// (health checks, metrics scrapes, pprof) bypass the limiter: they
-// must keep answering precisely when the server is saturated.
+// (health checks, metrics scrapes, pprof, admin) bypass the limiter:
+// they must keep answering precisely when the server is saturated.
 // max <= 0 disables the limiter.
 func limitInFlight(next http.Handler, max int) http.Handler {
 	if max <= 0 {
@@ -177,7 +253,7 @@ func limitInFlight(next http.Handler, max int) http.Handler {
 		default:
 			mHTTPSheds.Inc()
 			w.Header().Set("Retry-After", "1")
-			httpError(w, http.StatusServiceUnavailable, "server at capacity (%d in flight)", max)
+			HTTPError(w, http.StatusServiceUnavailable, "server at capacity (%d in flight)", max)
 		}
 	})
 }

@@ -1,0 +1,110 @@
+package fleet
+
+import (
+	"testing"
+
+	"wwb/internal/world"
+)
+
+func TestParseAssignment(t *testing.T) {
+	good := map[string]Assignment{
+		"0/1": {0, 1},
+		"0/4": {0, 4},
+		"3/4": {3, 4},
+		"1/2": {1, 2},
+	}
+	for in, want := range good {
+		got, err := ParseAssignment(in)
+		if err != nil {
+			t.Errorf("ParseAssignment(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseAssignment(%q) = %+v, want %+v", in, got, want)
+		}
+	}
+	for _, in := range []string{"", "1", "4/4", "5/4", "-1/4", "a/4", "1/b", "1/0", "1/-2"} {
+		if _, err := ParseAssignment(in); err == nil {
+			t.Errorf("ParseAssignment(%q) accepted, want error", in)
+		}
+	}
+}
+
+func TestShardOfDeterministicAndComplete(t *testing.T) {
+	countries := []string{"US", "DE", "IN", "JP", "BR", "FR", "NG", "AU"}
+	for _, n := range []int{1, 2, 3, 4, 8} {
+		seen := map[int]bool{}
+		for _, c := range countries {
+			for _, m := range world.StudyMonths {
+				s := ShardOf(c, m, n)
+				if s < 0 || s >= n {
+					t.Fatalf("ShardOf(%s, %s, %d) = %d out of range", c, m, n, s)
+				}
+				if s != ShardOf(c, m, n) {
+					t.Fatalf("ShardOf(%s, %s, %d) not deterministic", c, m, n)
+				}
+				seen[s] = true
+				// Exactly one assignment owns each cell.
+				owners := 0
+				for i := 0; i < n; i++ {
+					if (Assignment{Index: i, Count: n}).Owns(c, m) {
+						owners++
+					}
+				}
+				if owners != 1 {
+					t.Fatalf("(%s, %s) has %d owners among %d shards", c, m, owners, n)
+				}
+			}
+		}
+		// With 48 cells over <= 8 shards, every shard should own
+		// something; an empty shard would mean a degenerate partition.
+		if len(seen) != n {
+			t.Errorf("n=%d: only %d of %d shards own any cell", n, len(seen), n)
+		}
+	}
+}
+
+func TestShardViewSlicesListsKeepsGlobals(t *testing.T) {
+	ds := fleetDS
+	asn := Assignment{Index: 0, Count: 2}
+	view := ds.ShardView(asn.Owns)
+
+	if got, want := len(view.Countries), len(ds.Countries); got != want {
+		t.Fatalf("view lost the roster: %d countries, want %d", got, want)
+	}
+	if view.NumLists() >= ds.NumLists() {
+		t.Fatalf("view holds %d lists, full dataset %d — nothing was sliced", view.NumLists(), ds.NumLists())
+	}
+	for _, c := range ds.Countries {
+		for _, m := range ds.Months {
+			owned := asn.Owns(c, m)
+			for _, p := range world.Platforms {
+				for _, metric := range world.Metrics {
+					full := ds.List(c, p, metric, m)
+					sliced := view.List(c, p, metric, m)
+					if owned && len(sliced) != len(full) {
+						t.Fatalf("owned cell (%s,%s) lost its list", c, m)
+					}
+					if !owned && sliced != nil {
+						t.Fatalf("unowned cell (%s,%s) still has a list", c, m)
+					}
+				}
+			}
+		}
+	}
+	// Global distribution curves are whole-dataset aggregates every
+	// shard serves identically.
+	for _, p := range world.Platforms {
+		for _, m := range world.Metrics {
+			if ds.Dist(p, m) != nil && view.Dist(p, m) == nil {
+				t.Fatalf("view lost the %s/%s distribution curve", p, m)
+			}
+		}
+	}
+	// The two complementary slices partition the lists exactly.
+	other := ds.ShardView(Assignment{Index: 1, Count: 2}.Owns)
+	if view.NumLists()+other.NumLists() != ds.NumLists() {
+		t.Errorf("slices overlap or leak: %d + %d != %d",
+			view.NumLists(), other.NumLists(), ds.NumLists())
+	}
+}
