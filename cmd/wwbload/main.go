@@ -23,6 +23,7 @@ import (
 	"syscall"
 	"time"
 
+	"wwb/internal/chaos"
 	"wwb/internal/fleet"
 )
 
@@ -31,15 +32,17 @@ func main() {
 	log.SetPrefix("wwbload: ")
 
 	var (
-		target   = flag.String("target", "http://127.0.0.1:8080", "base URL of the server or router under load")
-		rps      = flag.Float64("rps", 50, "offered request rate (open loop)")
-		duration = flag.Duration("duration", 10*time.Second, "run length")
-		seed     = flag.Uint64("seed", 1, "query-sequence seed")
-		workers  = flag.Int("workers", 0, "max in-flight requests (0 = 4×RPS, clamped to [8,512])")
-		sloP99   = flag.Float64("slo-p99", 0, "p99 latency SLO in ms (0 = not asserted)")
-		sloShed  = flag.Float64("slo-shed", 0, "max tolerated shed rate in [0,1]")
-		sloErrs  = flag.Int("slo-errors", 0, "max tolerated transport/5xx errors")
-		out      = flag.String("out", "", "write the JSON report here (e.g. BENCH_5.json)")
+		target    = flag.String("target", "http://127.0.0.1:8080", "base URL of the server or router under load")
+		rps       = flag.Float64("rps", 50, "offered request rate (open loop)")
+		duration  = flag.Duration("duration", 10*time.Second, "run length")
+		seed      = flag.Uint64("seed", 1, "query-sequence seed")
+		workers   = flag.Int("workers", 0, "max in-flight requests (0 = 4×RPS, clamped to [8,512])")
+		sloP99    = flag.Float64("slo-p99", 0, "p99 latency SLO in ms (0 = not asserted)")
+		sloShed   = flag.Float64("slo-shed", 0, "max tolerated shed rate in [0,1]")
+		sloErrs   = flag.Int("slo-errors", 0, "max tolerated transport/5xx errors")
+		chaosSeed = flag.Uint64("chaos-seed", 0, "fault-injection seed for the client transport (only with -chaos-rate > 0)")
+		chaosRate = flag.Float64("chaos-rate", 0, "fault-injection rate in [0,1] on client requests; injected failures are reported apart from real errors")
+		out       = flag.String("out", "", "write the JSON report here (e.g. BENCH_5.json)")
 	)
 	flag.Parse()
 
@@ -54,6 +57,10 @@ func main() {
 		*target, len(countries), len(domains), len(months))
 	log.Printf("replaying seed %d at %.0f rps for %s...", *seed, *rps, *duration)
 
+	tcfg := chaos.FlakyTransport(*chaosSeed, *chaosRate)
+	if tcfg.Enabled() {
+		log.Printf("chaos transport enabled: seed %d rate %.2f", *chaosSeed, *chaosRate)
+	}
 	report, err := fleet.RunLoad(ctx, fleet.LoadConfig{
 		BaseURL:   *target,
 		Seed:      *seed,
@@ -63,13 +70,17 @@ func main() {
 		Countries: countries,
 		Domains:   domains,
 		Months:    months,
+		Client: &http.Client{
+			Timeout:   10 * time.Second,
+			Transport: chaos.NewTransport(tcfg, nil),
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	log.Printf("sent %d: %d ok, %d shed (rate %.4f), %d errors, %d dropped",
-		report.Sent, report.OK, report.Shed, report.ShedRate, report.Errors, report.Dropped)
+	log.Printf("sent %d: %d ok, %d shed (rate %.4f), %d errors, %d injected, %d dropped",
+		report.Sent, report.OK, report.Shed, report.ShedRate, report.Errors, report.Injected, report.Dropped)
 	log.Printf("latency ms: p50 %.1f  p90 %.1f  p99 %.1f  max %.1f",
 		report.P50Ms, report.P90Ms, report.P99Ms, report.MaxMs)
 

@@ -29,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"wwb/internal/chaos"
 	"wwb/internal/fleet"
 )
 
@@ -44,6 +45,10 @@ func main() {
 		subTimeout  = flag.Duration("shard-timeout", 30*time.Second, "per-sub-request timeout against a shard replica")
 		cooldown    = flag.Duration("health-cooldown", 2*time.Second, "how long a replica stays routed-around after a transport failure")
 		workers     = flag.Int("workers", 0, "fan-out goroutines (0 = one per CPU)")
+		retryBudget = flag.Int("retry-budget", 3, "sub-request retries allowed per client request across all replicas (fan-outs scale it by shard count)")
+		hedgeMax    = flag.Duration("hedge-max", 500*time.Millisecond, "upper clamp on the p99-derived hedge delay for fan-out legs (<0 disables hedging)")
+		chaosSeed   = flag.Uint64("chaos-seed", 0, "fault-injection seed for the shard transport (only with -chaos-rate > 0)")
+		chaosRate   = flag.Float64("chaos-rate", 0, "fault-injection rate in [0,1] on router-to-shard sub-requests; 0 disables chaos")
 	)
 	flag.Parse()
 
@@ -66,17 +71,30 @@ func main() {
 		}
 		topology = append(topology, reps)
 	}
+	// The chaos transport sits between the router and its shards so the
+	// whole resilience stack (budgets, hedges, health gates, checksums)
+	// is exercised against deterministic faults; rate 0 wires the real
+	// transport untouched.
+	tcfg := chaos.FlakyTransport(*chaosSeed, *chaosRate)
 	rt, err := fleet.NewRouter(fleet.RouterConfig{
-		Shards:         topology,
-		Client:         &http.Client{Timeout: *subTimeout},
+		Shards: topology,
+		Client: &http.Client{
+			Timeout:   *subTimeout,
+			Transport: chaos.NewTransport(tcfg, nil),
+		},
 		HealthCooldown: *cooldown,
 		Workers:        *workers,
+		RetryBudget:    *retryBudget,
+		HedgeMax:       *hedgeMax,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	for i, reps := range topology {
 		log.Printf("shard %d/%d: %s", i, len(topology), strings.Join(reps, ", "))
+	}
+	if tcfg.Enabled() {
+		log.Printf("chaos transport enabled: seed %d rate %.2f", *chaosSeed, *chaosRate)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -95,30 +113,8 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("routing %d shards on http://%s", rt.NumShards(), *addr)
-	if err := serve(ctx, srv, ln, 10*time.Second); err != nil {
+	if err := fleet.Serve(ctx, srv, ln, 10*time.Second); err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("drained, bye")
-}
-
-// serve runs srv on ln until ctx is cancelled, then drains gracefully.
-func serve(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration) error {
-	errCh := make(chan error, 1)
-	go func() { errCh <- srv.Serve(ln) }()
-	select {
-	case err := <-errCh:
-		if err == http.ErrServerClosed {
-			return nil
-		}
-		return err
-	case <-ctx.Done():
-		log.Printf("shutting down (%v)", context.Cause(ctx))
-		sctx, cancel := context.WithTimeout(context.Background(), drain)
-		defer cancel()
-		if err := srv.Shutdown(sctx); err != nil {
-			return err
-		}
-		<-errCh
-		return nil
-	}
 }

@@ -24,7 +24,6 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"log"
 	"net"
@@ -158,7 +157,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := serve(ctx, srv, ln, 10*time.Second); err != nil {
+	if err := fleet.Serve(ctx, srv, ln, 10*time.Second); err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("drained, bye")
@@ -179,29 +178,4 @@ func logDatasetLoad(path string, ds *chrome.Dataset, info *chrome.SnapshotInfo, 
 	log.Printf("dataset: %d countries, %d months, sampling seed %d, privacy threshold %d, topN %d, dist month %s",
 		len(ds.Countries), len(ds.Months), ds.Opts.Seed, ds.Opts.PrivacyThreshold,
 		ds.Opts.TopN, ds.Opts.DistMonth)
-}
-
-// serve runs srv on ln until ctx is cancelled (SIGINT/SIGTERM in
-// production), then shuts down gracefully: the listener closes so new
-// connections are refused while in-flight requests get up to drain to
-// finish. Split from main so the shutdown path is testable.
-func serve(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration) error {
-	errCh := make(chan error, 1)
-	go func() { errCh <- srv.Serve(ln) }()
-	select {
-	case err := <-errCh:
-		if errors.Is(err, http.ErrServerClosed) {
-			return nil
-		}
-		return err
-	case <-ctx.Done():
-		log.Printf("shutting down (%v)", context.Cause(ctx))
-		sctx, cancel := context.WithTimeout(context.Background(), drain)
-		defer cancel()
-		if err := srv.Shutdown(sctx); err != nil {
-			return err
-		}
-		<-errCh // Serve has returned ErrServerClosed
-		return nil
-	}
 }

@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"testing"
 	"time"
+
+	"wwb/internal/fleet"
 )
 
 // TestGracefulShutdownDrainsInFlight covers the SIGTERM path through
@@ -35,7 +37,7 @@ func TestGracefulShutdownDrainsInFlight(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	srv := &http.Server{Handler: h}
 	serveErr := make(chan error, 1)
-	go func() { serveErr <- serve(ctx, srv, ln, 5*time.Second) }()
+	go func() { serveErr <- fleet.Serve(ctx, srv, ln, 5*time.Second) }()
 
 	// Put a slow request in flight.
 	slowStatus := make(chan int, 1)
@@ -96,7 +98,7 @@ func TestServeReturnsListenerError(t *testing.T) {
 	srv := &http.Server{Handler: http.NewServeMux()}
 	ctx := context.Background()
 	errCh := make(chan error, 1)
-	go func() { errCh <- serve(ctx, srv, ln, time.Second) }()
+	go func() { errCh <- fleet.Serve(ctx, srv, ln, time.Second) }()
 	ln.Close()
 	select {
 	case err := <-errCh:

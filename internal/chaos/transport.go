@@ -1,0 +1,312 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"wwb/internal/world"
+)
+
+// ErrInjected is the sentinel every transport-level injected fault
+// wraps, so load harnesses and tests can tell deliberate chaos from
+// real infrastructure failures with errors.Is.
+var ErrInjected = fmt.Errorf("chaos: injected transport fault")
+
+// InjectedHeader marks synthetic HTTP responses fabricated by the
+// faulty transport (injected 5xx). Real backends never set it.
+const InjectedHeader = "X-Chaos-Injected"
+
+// TransportConfig sets the per-attempt fault probabilities of the
+// faulty RoundTripper. Rates are evaluated in priority order (refuse,
+// 5xx, truncate, garble, slow) from one uniform draw, so their sum
+// must stay <= 1.
+type TransportConfig struct {
+	// Seed keys the fault schedule: same seed, same (op, attempt)
+	// pairs, same faults.
+	Seed uint64
+	// RefuseRate is the probability the connection is refused before
+	// the backend is contacted (a dead or unreachable replica).
+	RefuseRate float64
+	// Err5xxRate is the probability of a synthetic 502 response
+	// fabricated without contacting the backend (a broken middlebox).
+	Err5xxRate float64
+	// TruncateRate is the probability the response body is cut short
+	// mid-stream (the read errors with an unexpected EOF).
+	TruncateRate float64
+	// GarbleRate is the probability response body bytes are flipped
+	// in place — same length, corrupt content. Only end-to-end
+	// integrity checking (X-Wwb-Checksum) can catch this one.
+	GarbleRate float64
+	// SlowRate is the probability of an injected latency spike; the
+	// delay is drawn deterministically in [SlowLatency/2, 3/2·SlowLatency).
+	SlowRate float64
+	// SlowLatency is the median injected delay.
+	SlowLatency time.Duration
+}
+
+// Enabled reports whether the config can inject any fault.
+func (c TransportConfig) Enabled() bool {
+	return c.RefuseRate > 0 || c.Err5xxRate > 0 || c.TruncateRate > 0 ||
+		c.GarbleRate > 0 || c.SlowRate > 0
+}
+
+// FlakyTransport is the one-knob transport chaos profile behind the
+// -chaos-rate flags of wwbrouter, wwbload, and wwbfleet: rate is the
+// total per-attempt fault probability, split 30% connection refusals,
+// 20% injected 5xx, 15% truncated bodies, 15% garbled bodies, and 20%
+// latency spikes, with millisecond-scale delays so chaos runs stay
+// fast under test.
+func FlakyTransport(seed uint64, rate float64) TransportConfig {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	return TransportConfig{
+		Seed:         seed,
+		RefuseRate:   0.30 * rate,
+		Err5xxRate:   0.20 * rate,
+		TruncateRate: 0.15 * rate,
+		GarbleRate:   0.15 * rate,
+		SlowRate:     0.20 * rate,
+		SlowLatency:  2 * time.Millisecond,
+	}
+}
+
+// TransportFault identifies one transport fault category.
+type TransportFault int
+
+const (
+	// TNone lets the request through untouched.
+	TNone TransportFault = iota
+	// TRefuse fails the request with a connection-refused error.
+	TRefuse
+	// TErr5xx fabricates a 502 response without contacting the backend.
+	TErr5xx
+	// TTruncate cuts the response body short mid-read.
+	TTruncate
+	// TGarble flips response body bytes in place.
+	TGarble
+	// TSlow delays the request before letting it through.
+	TSlow
+)
+
+// String names the transport fault.
+func (f TransportFault) String() string {
+	switch f {
+	case TNone:
+		return "none"
+	case TRefuse:
+		return "refuse"
+	case TErr5xx:
+		return "err5xx"
+	case TTruncate:
+		return "truncate"
+	case TGarble:
+		return "garble"
+	case TSlow:
+		return "slow"
+	default:
+		return fmt.Sprintf("transportFault(%d)", int(f))
+	}
+}
+
+// Transport is a faulty http.RoundTripper: it wraps a real transport
+// and injects refusals, synthetic 5xx, truncated/garbled bodies, and
+// latency spikes. The fault for one call is a pure function of
+// (seed, host, method+path, attempt): the per-operation attempt
+// counter is the only mutable state, so for any deterministic request
+// sequence the whole fleet degrades identically run over run.
+type Transport struct {
+	cfg   TransportConfig
+	inner http.RoundTripper
+	root  *world.RNG
+
+	mu       sync.Mutex
+	attempts map[string]int
+}
+
+// NewTransport wraps inner (nil means http.DefaultTransport) with the
+// configured fault schedule. A config that cannot inject anything
+// returns inner unchanged, so callers can wire it unconditionally.
+func NewTransport(cfg TransportConfig, inner http.RoundTripper) http.RoundTripper {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	if !cfg.Enabled() {
+		return inner
+	}
+	return &Transport{
+		cfg:      cfg,
+		inner:    inner,
+		root:     world.NewRNG(cfg.Seed ^ 0x7472616e73706f72), // "transpor"
+		attempts: make(map[string]int),
+	}
+}
+
+// opKey identifies one operation: faults are scheduled per
+// (host, method, path+query) stream. The shard a request targets is
+// part of its host, so per-shard fault schedules are independent.
+func opKey(req *http.Request) string {
+	return req.URL.Host + " " + req.Method + " " + req.URL.RequestURI()
+}
+
+// nextAttempt returns the 1-based attempt number for op.
+func (t *Transport) nextAttempt(op string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.attempts[op]++
+	return t.attempts[op]
+}
+
+// Decide returns the fault for one (op, attempt) pair — exported so
+// tests can assert schedules without performing HTTP calls. Attempts
+// are 1-based.
+func (t *Transport) Decide(op string, attempt int) TransportFault {
+	rng := t.root.Fork(fmt.Sprintf("%s|#%d", op, attempt))
+	u := rng.Float64()
+	c := t.cfg
+	switch {
+	case u < c.RefuseRate:
+		return TRefuse
+	case u < c.RefuseRate+c.Err5xxRate:
+		return TErr5xx
+	case u < c.RefuseRate+c.Err5xxRate+c.TruncateRate:
+		return TTruncate
+	case u < c.RefuseRate+c.Err5xxRate+c.TruncateRate+c.GarbleRate:
+		return TGarble
+	case u < c.RefuseRate+c.Err5xxRate+c.TruncateRate+c.GarbleRate+c.SlowRate:
+		return TSlow
+	default:
+		return TNone
+	}
+}
+
+// RoundTrip implements http.RoundTripper with fault injection.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	op := opKey(req)
+	attempt := t.nextAttempt(op)
+	rng := t.root.Fork(fmt.Sprintf("%s|#%d|body", op, attempt))
+	switch t.Decide(op, attempt) {
+	case TRefuse:
+		return nil, fmt.Errorf("dial %s: connection refused: %w", req.URL.Host, ErrInjected)
+	case TErr5xx:
+		return synthetic5xx(req), nil
+	case TTruncate:
+		resp, err := t.inner.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		resp.Body = &truncatingBody{inner: resp.Body, remain: truncateAt(rng, resp.ContentLength)}
+		return resp, nil
+	case TGarble:
+		resp, err := t.inner.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		if err := garbleBody(rng, resp); err != nil {
+			return nil, err
+		}
+		return resp, nil
+	case TSlow:
+		d := time.Duration((0.5 + rng.Float64()) * float64(t.cfg.SlowLatency))
+		if err := Sleep(req.Context(), d); err != nil {
+			return nil, err
+		}
+		return t.inner.RoundTrip(req)
+	default:
+		return t.inner.RoundTrip(req)
+	}
+}
+
+// synthetic5xx fabricates the injected 502: a JSON envelope so even
+// chaos keeps error responses machine-readable, marked with
+// InjectedHeader so load harnesses can separate it from real failures.
+func synthetic5xx(req *http.Request) *http.Response {
+	body := []byte(`{"error":"chaos: injected upstream failure"}` + "\n")
+	h := make(http.Header)
+	h.Set("Content-Type", "application/json")
+	h.Set(InjectedHeader, "1")
+	return &http.Response{
+		Status:        "502 Bad Gateway",
+		StatusCode:    http.StatusBadGateway,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        h,
+		Body:          io.NopCloser(bytes.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// truncateAt picks how many body bytes survive: a deterministic
+// fraction of the declared length, or a small fixed prefix when the
+// length is unknown.
+func truncateAt(rng *world.RNG, contentLength int64) int64 {
+	if contentLength > 0 {
+		return int64(rng.Float64() * float64(contentLength))
+	}
+	return int64(rng.Intn(64))
+}
+
+// truncatingBody yields a prefix of the real body and then fails the
+// read the way a torn connection does, so callers that io.ReadAll a
+// sub-response see an unexpected EOF rather than a silently short
+// success.
+type truncatingBody struct {
+	inner  io.ReadCloser
+	remain int64
+}
+
+func (b *truncatingBody) Read(p []byte) (int, error) {
+	if b.remain <= 0 {
+		return 0, fmt.Errorf("read: %w: %w", io.ErrUnexpectedEOF, ErrInjected)
+	}
+	if int64(len(p)) > b.remain {
+		p = p[:b.remain]
+	}
+	n, err := b.inner.Read(p)
+	b.remain -= int64(n)
+	if err == io.EOF {
+		// The real body ended before the cut point: nothing to truncate.
+		return n, err
+	}
+	return n, err
+}
+
+func (b *truncatingBody) Close() error { return b.inner.Close() }
+
+// garbleBody reads the full response body, flips a handful of bytes
+// deterministically, and re-installs it with the original length. The
+// corruption is invisible at the HTTP layer — only an end-to-end
+// checksum can catch it, which is exactly the failure mode this fault
+// exists to exercise.
+func garbleBody(rng *world.RNG, resp *http.Response) error {
+	body, err := io.ReadAll(resp.Body)
+	cerr := resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if cerr != nil {
+		return cerr
+	}
+	if len(body) > 0 {
+		flips := 1 + rng.Intn(3)
+		for i := 0; i < flips; i++ {
+			pos := rng.Intn(len(body))
+			// XOR with a non-zero mask so the byte always changes.
+			body[pos] ^= byte(1 + rng.Intn(255))
+		}
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(body))
+	resp.ContentLength = int64(len(body))
+	resp.Header.Set("Content-Length", strconv.Itoa(len(body)))
+	return nil
+}

@@ -505,7 +505,6 @@ func (c *snapCursor) f64Slice() ([]float64, error) {
 	return out, nil
 }
 
-
 // inputSize reports how many bytes remain in r when r can be measured
 // without consuming it (files, bytes.Reader), or -1 when it cannot.
 // A known size lets the decoder validate every declared section length

@@ -1,0 +1,165 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"wwb/internal/chaos"
+	"wwb/internal/chrome"
+	"wwb/internal/world"
+)
+
+// startReplicatedShards hosts an n-shard × r-replica fleet in-process
+// over ds and returns the replica base URLs grouped per shard.
+func startReplicatedShards(t *testing.T, ds *chrome.Dataset, n, r int) [][]string {
+	t.Helper()
+	groups := make([][]string, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < r; j++ {
+			srv := NewServer(ds, ServerConfig{
+				Shard: Assignment{Index: i, Count: n},
+				Month: ds.Opts.DistMonth,
+			})
+			ts := httptest.NewServer(srv.Routes(MiddlewareConfig{}))
+			t.Cleanup(ts.Close)
+			groups[i] = append(groups[i], ts.URL)
+		}
+	}
+	return groups
+}
+
+// chaosQueryMix renders the deterministic replay mix: the same seed
+// and rosters the wwbload harness would use, truncated to a fixed
+// request count.
+func chaosQueryMix(n int) []string {
+	var countries []string
+	countries = append(countries, fleetDS.Countries...)
+	var domains []string
+	list := fleetDS.List(fleetDS.Countries[0], world.Windows, world.PageLoads, fleetDS.Opts.DistMonth)
+	for _, e := range list.TopN(30) {
+		domains = append(domains, e.Domain)
+	}
+	months := make([]string, len(fleetDS.Months))
+	for i, m := range fleetDS.Months {
+		months[i] = m.String()
+	}
+	gen := NewGenerator(99, countries, domains, months)
+	paths := make([]string, n)
+	for i := range paths {
+		paths[i] = gen.Next()
+	}
+	return paths
+}
+
+// TestFleetChaosByteEquivalence is the chaos acceptance test: a fixed
+// query mix replayed through a 2-shard × 2-replica fleet whose
+// router-to-shard transport injects faults at increasing rates. The
+// invariant is absolute at every rate: a 2xx answer is byte-identical
+// to the no-chaos single-server oracle — the resilience stack may
+// degrade a request loudly (503 + Retry-After, JSON envelope), but it
+// may never serve a quietly wrong byte. The retry amplification must
+// also stay inside the advertised budgets.
+func TestFleetChaosByteEquivalence(t *testing.T) {
+	log.SetOutput(io.Discard)
+	defer log.SetOutput(prevWriter())
+
+	oracle := httptest.NewServer(
+		NewServer(fleetDS, ServerConfig{Month: fleetDS.Opts.DistMonth}).Routes(MiddlewareConfig{}))
+	defer oracle.Close()
+
+	paths := chaosQueryMix(250)
+	want := make(map[string]string, len(paths))
+	for _, p := range paths {
+		if _, ok := want[p]; ok {
+			continue
+		}
+		status, _, body := fetch(t, oracle.URL, p)
+		if status != http.StatusOK {
+			t.Fatalf("oracle %s: status %d", p, status)
+		}
+		want[p] = string(body)
+	}
+
+	groups := startReplicatedShards(t, fleetDS, 2, 2)
+	const retryBudget = 3
+
+	for _, rate := range []float64{0, 0.05, 0.3} {
+		t.Run(fmt.Sprintf("rate=%.2f", rate), func(t *testing.T) {
+			rt, err := NewRouter(RouterConfig{
+				Shards: groups,
+				Client: &http.Client{
+					Timeout:   10 * time.Second,
+					Transport: chaos.NewTransport(chaos.FlakyTransport(11, rate), nil),
+				},
+				// A short cooldown keeps chaos-gated replicas cycling
+				// back into rotation over the run.
+				HealthCooldown: 50 * time.Millisecond,
+				RetryBudget:    retryBudget,
+				HedgeMax:       20 * time.Millisecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			router := httptest.NewServer(rt.Routes(MiddlewareConfig{}))
+			defer router.Close()
+
+			retriesBefore := mReplicaRetries.Value() + mHedges.Value()
+
+			var ok, degraded int
+			for _, p := range paths {
+				resp, err := http.Get(router.URL + p)
+				if err != nil {
+					t.Fatalf("%s: transport error reached the client: %v", p, err)
+				}
+				body, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if rerr != nil {
+					t.Fatalf("%s: body read failed at the client: %v", p, rerr)
+				}
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					ok++
+					if string(body) != want[p] {
+						t.Fatalf("%s at rate %.2f: 200 body diverges from the oracle\n got: %.120s\nwant: %.120s",
+							p, rate, body, want[p])
+					}
+				case resp.StatusCode == http.StatusServiceUnavailable:
+					degraded++
+					if resp.Header.Get("Retry-After") == "" {
+						t.Errorf("%s: degraded 503 without Retry-After", p)
+					}
+					var env map[string]string
+					if err := json.Unmarshal(body, &env); err != nil || env["error"] == "" {
+						t.Errorf("%s: degraded body %q is not a JSON error envelope", p, body)
+					}
+				default:
+					t.Errorf("%s at rate %.2f: unexpected status %d (%q)", p, rate, resp.StatusCode, body)
+				}
+			}
+
+			// Budgets bound the amplification: every client request may
+			// spend at most retryBudget × shards extra sub-requests
+			// (retries and hedges draw from the same pool).
+			extra := mReplicaRetries.Value() + mHedges.Value() - retriesBefore
+			if max := uint64(len(paths) * retryBudget * len(groups)); extra > max {
+				t.Errorf("rate %.2f: %d retries+hedges across %d requests exceeds the budget ceiling %d",
+					rate, extra, len(paths), max)
+			}
+
+			if rate == 0 {
+				if degraded != 0 {
+					t.Errorf("rate 0 degraded %d requests", degraded)
+				}
+			} else if ok == 0 {
+				t.Errorf("rate %.2f: no request succeeded at all", rate)
+			}
+			t.Logf("rate %.2f: %d ok, %d degraded, %d extra sub-requests", rate, ok, degraded, extra)
+		})
+	}
+}

@@ -3,8 +3,10 @@ package fleet
 import (
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"log"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"wwb/internal/world"
@@ -15,6 +17,39 @@ import (
 // response is never assembled from two different dataset epochs while
 // a swap is in flight.
 const EpochHeader = "X-Wwb-Epoch"
+
+// ChecksumHeader carries the CRC-32C of the response body, stamped by
+// the middleware stack on every buffered response. It is the fleet's
+// end-to-end integrity check: a body garbled in flight (same length,
+// corrupt content — invisible to HTTP framing) fails verification at
+// the router and is retried on another replica instead of being
+// merged into a silently wrong answer.
+const ChecksumHeader = "X-Wwb-Checksum"
+
+// crcTable is the Castagnoli polynomial, matching the .wwb snapshot
+// sections' checksum choice.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// BodyChecksum renders the integrity checksum of a response body.
+func BodyChecksum(body []byte) string {
+	return "crc32c:" + strconv.FormatUint(uint64(crc32.Checksum(body, crcTable)), 16)
+}
+
+// VerifyBody checks a sub-response body against its ChecksumHeader.
+// A missing header verifies trivially (not every hop checksums — shed
+// 503s and panic 500s are written outside the buffering layer); a
+// mismatch is an integrity failure the caller must treat like any
+// other transport fault.
+func VerifyBody(h http.Header, body []byte) error {
+	want := h.Get(ChecksumHeader)
+	if want == "" {
+		return nil
+	}
+	if got := BodyChecksum(body); got != want {
+		return fmt.Errorf("body checksum %s does not match header %s: corrupt in flight", got, want)
+	}
+	return nil
+}
 
 // MaxListN bounds /v1/list responses; no rank list is deeper than the
 // assembly's TopN, so anything larger only invites huge allocations.

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand/v2"
@@ -11,6 +12,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"wwb/internal/chaos"
 )
 
 // Generator produces a seed-deterministic query mix against the /v1
@@ -117,7 +120,8 @@ type LoadReport struct {
 	OK       int     `json:"ok"`
 	Shed     int     `json:"shed"`
 	Errors   int     `json:"errors"`
-	Dropped  int     `json:"dropped"` // dispatches the client itself could not start
+	Injected int     `json:"injected,omitempty"` // failures the chaos transport injected (not SLO-relevant)
+	Dropped  int     `json:"dropped"`            // dispatches the client itself could not start
 	ShedRate float64 `json:"shedRate"`
 	P50Ms    float64 `json:"p50Ms"`
 	P90Ms    float64 `json:"p90Ms"`
@@ -221,10 +225,15 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 		mu          sync.Mutex
 		latenciesMs []float64
 	)
-	record := func(status int, err error, d time.Duration) {
+	record := func(status int, injected bool, err error, d time.Duration) {
 		mu.Lock()
 		defer mu.Unlock()
 		switch {
+		// Deliberate chaos at the client edge is accounted apart from
+		// real failures: an injected refusal/truncation/garble/502 is
+		// the harness doing its job, not the fleet failing its SLO.
+		case injected || errors.Is(err, chaos.ErrInjected):
+			report.Injected++
 		case err != nil:
 			report.Errors++
 		case status == http.StatusServiceUnavailable:
@@ -246,8 +255,8 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 			defer wg.Done()
 			for path := range jobs {
 				start := time.Now()
-				status, err := doOne(ctx, client, cfg.BaseURL+path)
-				record(status, err, time.Since(start))
+				status, injected, err := doOne(ctx, client, cfg.BaseURL+path)
+				record(status, injected, err, time.Since(start))
 			}
 		}()
 	}
@@ -289,18 +298,30 @@ dispatch:
 	return report, nil
 }
 
-// doOne performs a single load request, draining and discarding the
-// body so connections are reused.
-func doOne(ctx context.Context, client *http.Client, u string) (int, error) {
+// doOne performs a single load request, reading the whole body so
+// connections are reused and truncations surface as read errors
+// instead of silently short successes. Responses carrying a checksum
+// are integrity-verified; a mismatch at this hop can only be the
+// chaos transport's garble (the router already verified its own
+// upstream bodies), so it is reported as injected. The injected flag
+// also covers the transport's synthetic 502s, which mark themselves.
+func doOne(ctx context.Context, client *http.Client, u string) (status int, injected bool, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
-		return 0, err
+		return 0, false, err
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0, err
+		return 0, false, err
 	}
 	defer resp.Body.Close()
-	io.Copy(io.Discard, resp.Body)
-	return resp.StatusCode, nil
+	injected = resp.Header.Get(chaos.InjectedHeader) == "1"
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, injected, err
+	}
+	if verr := VerifyBody(resp.Header, body); verr != nil {
+		return resp.StatusCode, true, verr
+	}
+	return resp.StatusCode, injected, nil
 }

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -147,6 +148,7 @@ func RequestID(ctx context.Context) string {
 // status.
 func WithMiddleware(next http.Handler, cfg MiddlewareConfig) http.Handler {
 	h := next
+	h = checksumResponses(h)
 	h = timeoutRequests(h, cfg.RequestTimeout)
 	h = limitInFlight(h, cfg.MaxInFlight)
 	h = recoverPanics(h)
@@ -255,6 +257,55 @@ func limitInFlight(next http.Handler, max int) http.Handler {
 			w.Header().Set("Retry-After", "1")
 			HTTPError(w, http.StatusServiceUnavailable, "server at capacity (%d in flight)", max)
 		}
+	})
+}
+
+// checksummedWriter buffers a handler's response so its body checksum
+// can be stamped into the headers before anything reaches the wire.
+type checksummedWriter struct {
+	w      http.ResponseWriter
+	status int
+	body   bytes.Buffer
+}
+
+func (c *checksummedWriter) Header() http.Header { return c.w.Header() }
+
+func (c *checksummedWriter) WriteHeader(status int) {
+	if c.status == 0 {
+		c.status = status
+	}
+}
+
+func (c *checksummedWriter) Write(p []byte) (int, error) {
+	if c.status == 0 {
+		c.status = http.StatusOK
+	}
+	return c.body.Write(p)
+}
+
+// checksumResponses is the innermost middleware: it buffers the
+// handler's response, stamps ChecksumHeader with the body CRC-32C,
+// and only then writes status and body out. The router verifies the
+// checksum on every sub-response, which is what turns an in-flight
+// body corruption (chaos garble, flaky proxy, bad NIC) into a
+// retryable transport failure instead of a silently wrong merge.
+// Ops endpoints are exempt: pprof streams for 30s and must not be
+// buffered.
+func checksumResponses(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if opsExempt(r) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		cw := &checksummedWriter{w: w}
+		next.ServeHTTP(cw, r)
+		if cw.status == 0 {
+			cw.status = http.StatusOK
+		}
+		body := cw.body.Bytes()
+		w.Header().Set(ChecksumHeader, BodyChecksum(body))
+		w.WriteHeader(cw.status)
+		w.Write(body)
 	})
 }
 

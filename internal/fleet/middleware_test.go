@@ -256,12 +256,12 @@ func TestRouteLabelBoundsCardinality(t *testing.T) {
 // per-request timeout: /admin/swap must not be shed mid-rollover.
 func TestOpsEndpointsExempt(t *testing.T) {
 	for path, want := range map[string]bool{
-		"/healthz":              true,
-		"/metrics":              true,
-		"/debug/pprof/profile":  true,
-		"/admin/swap":           true,
-		"/v1/list?country=US":   false,
-		"/shard/lists":          false,
+		"/healthz":             true,
+		"/metrics":             true,
+		"/debug/pprof/profile": true,
+		"/admin/swap":          true,
+		"/v1/list?country=US":  false,
+		"/shard/lists":         false,
 	} {
 		r := httptest.NewRequest(http.MethodGet, path, nil)
 		if got := opsExempt(r); got != want {

@@ -3,10 +3,12 @@ package fleet
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -41,6 +43,27 @@ var (
 	mRouterEpoch = metrics.Default.Gauge(
 		"fleet_router_epoch",
 		"Fleet epoch last observed or installed by the router.")
+	mBudgetExhausted = metrics.Default.Counter(
+		"fleet_retry_budget_exhausted_total",
+		"Requests whose cross-replica retry budget ran out before every candidate was tried.")
+	mHedges = metrics.Default.Counter(
+		"fleet_hedges_total",
+		"Hedged second attempts launched after the p99-derived delay.")
+	mHedgeWins = metrics.Default.Counter(
+		"fleet_hedge_wins_total",
+		"Hedged attempts that answered before the primary.")
+	mHedgeLosses = metrics.Default.Counter(
+		"fleet_hedge_losses_total",
+		"Hedged attempts beaten by the primary (wasted work).")
+	mIntegrityFailures = metrics.Default.Counter(
+		"fleet_integrity_failures_total",
+		"Sub-responses rejected because the body failed checksum verification.")
+	mReplicaProbes = metrics.Default.Counter(
+		"fleet_replica_probes_total",
+		"Single-request recovery probes of replicas whose cooldown lapsed.")
+	mShardDark = metrics.Default.Counter(
+		"fleet_shard_dark_total",
+		"Requests degraded because every replica of a shard failed at the transport level.")
 )
 
 // RouterConfig wires a Router to its shard fleet.
@@ -60,35 +83,61 @@ type RouterConfig struct {
 	HealthCooldown time.Duration
 	// Workers bounds fan-out concurrency (0 = GOMAXPROCS).
 	Workers int
+	// RetryBudget bounds, per client request, how many sub-request
+	// retries (attempts beyond the first per shard leg) the router may
+	// spend across all replicas. Fan-out routes scale it by the shard
+	// count. 0 means the default (3); a sick fleet must not turn one
+	// client request into an unbounded retry storm.
+	RetryBudget int
+	// HedgeMin / HedgeMax clamp the p99-derived hedge delay for
+	// fan-out sub-requests. Zero values mean the defaults (2ms, 500ms);
+	// HedgeMax < 0 disables hedging entirely.
+	HedgeMin time.Duration
+	HedgeMax time.Duration
 }
 
 // replica is one shard backend with its health gate. A transport
 // failure marks it down for a cooldown; requests route around a down
-// replica and only probe it again once the cooldown lapses (or when
-// every replica of the shard is down and there is nothing better).
+// replica. When the cooldown lapses, exactly one request wins the
+// recovery probe (a CAS on downUntil re-arms the gate for everyone
+// else), so the request stream never stampedes a just-recovered
+// backend that may still be warming up.
 type replica struct {
 	base string
 
-	mu        sync.Mutex
-	downUntil time.Time
+	// downUntil is the gate: 0 = healthy, otherwise the UnixNano
+	// instant the cooldown lapses. All transitions are atomic so the
+	// hot path never takes a lock.
+	downUntil atomic.Int64
 }
 
-func (r *replica) down(now time.Time) bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return now.Before(r.downUntil)
+// available reports whether a request may try this replica now. For a
+// replica whose cooldown has lapsed it returns true for exactly one
+// caller — the probe — and re-arms the gate for the rest; the probe's
+// outcome (markHealthy or markFailed) then settles the state.
+func (r *replica) available(now time.Time, cooldown time.Duration) bool {
+	dn := r.downUntil.Load()
+	if dn == 0 {
+		return true
+	}
+	if now.UnixNano() < dn {
+		return false
+	}
+	// Cooldown lapsed: the CAS winner probes; losers see the re-armed
+	// gate and keep routing around until the probe settles it.
+	if r.downUntil.CompareAndSwap(dn, now.Add(cooldown).UnixNano()) {
+		mReplicaProbes.Inc()
+		return true
+	}
+	return false
 }
 
 func (r *replica) markFailed(now time.Time, cooldown time.Duration) {
-	r.mu.Lock()
-	r.downUntil = now.Add(cooldown)
-	r.mu.Unlock()
+	r.downUntil.Store(now.Add(cooldown).UnixNano())
 }
 
 func (r *replica) markHealthy() {
-	r.mu.Lock()
-	r.downUntil = time.Time{}
-	r.mu.Unlock()
+	r.downUntil.Store(0)
 }
 
 // shardGroup is one shard's replica set with a rotation cursor.
@@ -100,19 +149,97 @@ type shardGroup struct {
 // order returns the replicas to try, rotated for spread, healthy ones
 // first. Down replicas stay in the list (last): when everything is
 // down, probing a "down" replica beats failing without trying.
-func (g *shardGroup) order(now time.Time) []*replica {
+func (g *shardGroup) order(now time.Time, cooldown time.Duration) []*replica {
 	start := int(g.next.Add(1)-1) % len(g.replicas)
 	out := make([]*replica, 0, len(g.replicas))
 	var down []*replica
 	for i := 0; i < len(g.replicas); i++ {
 		rep := g.replicas[(start+i)%len(g.replicas)]
-		if rep.down(now) {
+		if !rep.available(now, cooldown) {
 			down = append(down, rep)
 			continue
 		}
 		out = append(out, rep)
 	}
 	return append(out, down...)
+}
+
+// retryBudget bounds the sub-request retries one client request may
+// spend across all replicas of all shards. The initial attempt of
+// each shard leg is free — the budget prices only the amplification.
+type retryBudget struct {
+	left atomic.Int64
+}
+
+func newRetryBudget(n int) *retryBudget {
+	b := &retryBudget{}
+	b.left.Store(int64(n))
+	return b
+}
+
+// allow consumes one retry token; false means the budget is dry.
+func (b *retryBudget) allow() bool {
+	for {
+		cur := b.left.Load()
+		if cur <= 0 {
+			return false
+		}
+		if b.left.CompareAndSwap(cur, cur-1) {
+			return true
+		}
+	}
+}
+
+// ShardDarkError reports a shard whose every replica failed at the
+// transport level — the fleet is partially dark and the client should
+// back off and retry rather than treat the failure as permanent.
+type ShardDarkError struct {
+	Shard int
+	Err   error
+}
+
+func (e *ShardDarkError) Error() string {
+	return fmt.Sprintf("shard %d dark: %v", e.Shard, e.Err)
+}
+
+func (e *ShardDarkError) Unwrap() error { return e.Err }
+
+// latRing tracks recent sub-request latencies so the hedge delay can
+// follow the fleet's observed p99 instead of a static guess.
+type latRing struct {
+	mu  sync.Mutex
+	buf [256]time.Duration
+	n   int // total recorded (saturates the ring)
+	idx int
+}
+
+func (l *latRing) record(d time.Duration) {
+	l.mu.Lock()
+	l.buf[l.idx] = d
+	l.idx = (l.idx + 1) % len(l.buf)
+	if l.n < len(l.buf) {
+		l.n++
+	}
+	l.mu.Unlock()
+}
+
+// p99 returns the nearest-rank p99 of the recorded window, or 0 until
+// enough samples exist to make the estimate meaningful.
+func (l *latRing) p99() time.Duration {
+	l.mu.Lock()
+	n := l.n
+	samples := make([]time.Duration, n)
+	copy(samples, l.buf[:n])
+	l.mu.Unlock()
+	if n < 16 {
+		return 0
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	rank := (n*99 + 99) / 100 // ceil(0.99 n)
+	if rank > n {
+		rank = n
+	}
+	return samples[rank-1]
 }
 
 // fleetInfo is the decoded /shard/info payload the router caches: the
@@ -137,6 +264,10 @@ type Router struct {
 	epochRetries int
 	cooldown     time.Duration
 	workers      int
+	retryBudget  int
+	hedgeMin     time.Duration
+	hedgeMax     time.Duration
+	lat          latRing
 
 	// infoMu guards the cached fleet info (epoch, analysis month,
 	// country roster); invalidated on swap or observed epoch change.
@@ -160,6 +291,9 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		epochRetries: cfg.EpochRetries,
 		cooldown:     cfg.HealthCooldown,
 		workers:      cfg.Workers,
+		retryBudget:  cfg.RetryBudget,
+		hedgeMin:     cfg.HedgeMin,
+		hedgeMax:     cfg.HedgeMax,
 	}
 	if rt.client == nil {
 		rt.client = &http.Client{Timeout: 30 * time.Second}
@@ -169,6 +303,15 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	}
 	if rt.cooldown <= 0 {
 		rt.cooldown = 2 * time.Second
+	}
+	if rt.retryBudget <= 0 {
+		rt.retryBudget = 3
+	}
+	if rt.hedgeMin <= 0 {
+		rt.hedgeMin = 2 * time.Millisecond
+	}
+	if rt.hedgeMax == 0 {
+		rt.hedgeMax = 500 * time.Millisecond
 	}
 	for i, reps := range cfg.Shards {
 		if len(reps) == 0 {
@@ -219,7 +362,9 @@ type shardResp struct {
 	replica string
 }
 
-// doReplica performs one sub-request against one replica.
+// doReplica performs one sub-request against one replica, reading and
+// integrity-checking the body: a checksum mismatch (a body corrupted
+// in flight) is a transport failure, never a response.
 func (rt *Router) doReplica(ctx context.Context, rep *replica, method, uri string) (*shardResp, error) {
 	req, err := http.NewRequestWithContext(ctx, method, rep.base+uri, nil)
 	if err != nil {
@@ -232,6 +377,10 @@ func (rt *Router) doReplica(ctx context.Context, rep *replica, method, uri strin
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
+		return nil, err
+	}
+	if err := VerifyBody(resp.Header, body); err != nil {
+		mIntegrityFailures.Inc()
 		return nil, err
 	}
 	epoch, _ := strconv.ParseUint(resp.Header.Get(EpochHeader), 10, 64)
@@ -255,24 +404,40 @@ func retriable(status int) bool {
 	return false
 }
 
+// gatewayish reports a status the shard servers themselves never
+// produce — it can only mean infrastructure between router and shard
+// misbehaved, so the router degrades it to an attributed shed instead
+// of forwarding upstream garbage.
+func gatewayish(status int) bool {
+	return status == http.StatusBadGateway || status == http.StatusGatewayTimeout
+}
+
 // do performs a sub-request against shard, walking its replicas until
 // one answers. A transport failure gates the replica out of rotation
 // for the cooldown; a retriable status tries the next replica without
 // gating (a shed 503 is a healthy replica at capacity, not a dead
-// one). The last response or error is returned when every replica
-// fails.
-func (rt *Router) do(ctx context.Context, shard int, method, uri string) (*shardResp, error) {
+// one). Every attempt beyond the first consumes one token from the
+// request's retry budget — a sick fleet must not amplify one client
+// request into an unbounded retry storm. When every replica fails at
+// the transport level the error is a ShardDarkError carrying the
+// shard index, so degradation responses can attribute the outage.
+func (rt *Router) do(ctx context.Context, shard int, method, uri string, b *retryBudget) (*shardResp, error) {
 	g := rt.shards[shard]
 	label := strconv.Itoa(shard)
 	var lastResp *shardResp
 	var lastErr error
-	for i, rep := range g.order(time.Now()) {
+	for i, rep := range g.order(time.Now(), rt.cooldown) {
 		if i > 0 {
+			if !b.allow() {
+				mBudgetExhausted.Inc()
+				break
+			}
 			mReplicaRetries.Inc()
 		}
 		start := time.Now()
 		resp, err := rt.doReplica(ctx, rep, method, uri)
-		mShardReq.With(label).Observe(time.Since(start).Seconds())
+		elapsed := time.Since(start)
+		mShardReq.With(label).Observe(elapsed.Seconds())
 		if err != nil {
 			rep.markFailed(time.Now(), rt.cooldown)
 			lastErr = fmt.Errorf("%s: %w", rep.base, err)
@@ -281,6 +446,7 @@ func (rt *Router) do(ctx context.Context, shard int, method, uri string) (*shard
 			}
 			continue
 		}
+		rt.lat.record(elapsed)
 		rep.markHealthy()
 		if retriable(resp.status) {
 			lastResp, lastErr = resp, nil
@@ -291,7 +457,97 @@ func (rt *Router) do(ctx context.Context, shard int, method, uri string) (*shard
 	if lastResp != nil {
 		return lastResp, nil
 	}
-	return nil, lastErr
+	if lastErr != nil {
+		// No replica produced any HTTP response at all.
+		mShardDark.Inc()
+		return nil, &ShardDarkError{Shard: shard, Err: lastErr}
+	}
+	return nil, fmt.Errorf("shard %d: no replica attempted", shard)
+}
+
+// budgetFor allocates the retry budget for one client request. Fan-out
+// routes touch every shard, so their budget scales with the shard
+// count; the bound is still global across the whole request, not per
+// replica.
+func (rt *Router) budgetFor(fanout bool) *retryBudget {
+	n := rt.retryBudget
+	if fanout {
+		n *= len(rt.shards)
+	}
+	return newRetryBudget(n)
+}
+
+// hedgeDelay derives the hedged-read trigger from the observed shard
+// sub-request p99, clamped to [hedgeMin, hedgeMax]; before enough
+// samples exist the delay sits at the conservative maximum.
+func (rt *Router) hedgeDelay() time.Duration {
+	d := rt.lat.p99()
+	if d == 0 {
+		return rt.hedgeMax
+	}
+	if d < rt.hedgeMin {
+		d = rt.hedgeMin
+	}
+	if d > rt.hedgeMax {
+		d = rt.hedgeMax
+	}
+	return d
+}
+
+// doHedged is the tail-latency variant of do for fan-out legs: if the
+// primary attempt has not answered within the p99-derived delay, a
+// second attempt launches against the shard (budget permitting) and
+// the first good answer wins; the loser is cancelled. One slow or
+// half-dead replica then costs one extra sub-request, not a fan-out
+// stall — the classic hedged-request move.
+func (rt *Router) doHedged(ctx context.Context, shard int, uri string, b *retryBudget) (*shardResp, error) {
+	if rt.hedgeMax < 0 { // hedging disabled
+		return rt.do(ctx, shard, http.MethodGet, uri, b)
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type result struct {
+		resp   *shardResp
+		err    error
+		hedged bool
+	}
+	ch := make(chan result, 2)
+	launch := func(hedged bool) {
+		go func() {
+			resp, err := rt.do(hctx, shard, http.MethodGet, uri, b)
+			ch <- result{resp: resp, err: err, hedged: hedged}
+		}()
+	}
+	launch(false)
+	timer := time.NewTimer(rt.hedgeDelay())
+	defer timer.Stop()
+	launched := 1
+	var last result
+	for received := 0; received < launched; {
+		select {
+		case r := <-ch:
+			received++
+			good := r.err == nil && !retriable(r.resp.status)
+			if good {
+				if launched == 2 {
+					if r.hedged {
+						mHedgeWins.Inc()
+					} else {
+						mHedgeLosses.Inc()
+					}
+				}
+				return r.resp, nil
+			}
+			last = r
+		case <-timer.C:
+			if launched == 1 && b.allow() {
+				mHedges.Inc()
+				launched++
+				launch(true)
+			}
+		}
+	}
+	return last.resp, last.err
 }
 
 // forward replays a sub-response to the client verbatim.
@@ -310,15 +566,16 @@ func forward(w http.ResponseWriter, resp *shardResp) {
 }
 
 // fanout performs the same sub-request against every shard and returns
-// one response per shard, all from the same dataset epoch. When a swap
-// lands mid-fan-out, shards still answering the old epoch are
-// refetched (bounded) until the set agrees; persistent skew is an
+// one response per shard, all from the same dataset epoch. Each leg is
+// a hedged read sharing one retry budget across the whole fan-out.
+// When a swap lands mid-fan-out, shards still answering the old epoch
+// are refetched (bounded) until the set agrees; persistent skew is an
 // error the caller turns into a shed.
-func (rt *Router) fanout(ctx context.Context, uri string) ([]*shardResp, error) {
+func (rt *Router) fanout(ctx context.Context, uri string, b *retryBudget) ([]*shardResp, error) {
 	mFanoutWidth.Observe(float64(len(rt.shards)))
 	resps, err := parallel.MapCtx(ctx, rt.workers, len(rt.shards),
 		func(ctx context.Context, i int) (*shardResp, error) {
-			resp, err := rt.do(ctx, i, http.MethodGet, uri)
+			resp, err := rt.doHedged(ctx, i, uri, b)
 			if err != nil {
 				return nil, fmt.Errorf("shard %d: %w", i, err)
 			}
@@ -354,7 +611,7 @@ func (rt *Router) fanout(ctx context.Context, uri string) ([]*shardResp, error) 
 			func(ctx context.Context, j int) (struct{}, error) {
 				i := stale[j]
 				mEpochSkewRetries.Inc()
-				resp, err := rt.do(ctx, i, http.MethodGet, uri)
+				resp, err := rt.do(ctx, i, http.MethodGet, uri, b)
 				if err != nil {
 					return struct{}{}, fmt.Errorf("shard %d: %w", i, err)
 				}
@@ -367,6 +624,21 @@ func (rt *Router) fanout(ctx context.Context, uri string) ([]*shardResp, error) 
 	}
 }
 
+// degrade answers a sub-request failure with an explicit
+// partial-degradation 503: Retry-After set, and when the failure is a
+// dark shard, the shard index in the envelope so the outage is
+// attributed instead of reported as anonymous gateway noise. The
+// router never converts a shard failure into a silently wrong merge —
+// it either answers whole or degrades loudly.
+func degrade(w http.ResponseWriter, err error, what string) {
+	var dark *ShardDarkError
+	if errors.As(err, &dark) {
+		shed(w, "%s: shard %d has no reachable replica: %v", what, dark.Shard, dark.Err)
+		return
+	}
+	shed(w, "%s: %v", what, err)
+}
+
 // getInfo returns the cached fleet info, fetching it from a shard on
 // the first call or after invalidation.
 func (rt *Router) getInfo(ctx context.Context) (*fleetInfo, error) {
@@ -375,7 +647,7 @@ func (rt *Router) getInfo(ctx context.Context) (*fleetInfo, error) {
 	if rt.info != nil {
 		return rt.info, nil
 	}
-	resp, err := rt.do(ctx, 0, http.MethodGet, "/shard/info")
+	resp, err := rt.do(ctx, 0, http.MethodGet, "/shard/info", rt.budgetFor(false))
 	if err != nil {
 		return nil, err
 	}
@@ -451,9 +723,13 @@ func (rt *Router) handleProxyAny(w http.ResponseWriter, r *http.Request) {
 	if n := len(rt.shards); n > 1 {
 		shard = int(fnvString(r.URL.RequestURI()) % uint32(n))
 	}
-	resp, err := rt.do(r.Context(), shard, http.MethodGet, r.URL.RequestURI())
+	resp, err := rt.do(r.Context(), shard, http.MethodGet, r.URL.RequestURI(), rt.budgetFor(false))
 	if err != nil {
-		HTTPError(w, http.StatusBadGateway, "shard %d unreachable: %v", shard, err)
+		degrade(w, err, "proxy failed")
+		return
+	}
+	if gatewayish(resp.status) {
+		shed(w, "shard %d answered gateway status %d", shard, resp.status)
 		return
 	}
 	rt.noteEpoch(resp.epoch)
@@ -461,7 +737,9 @@ func (rt *Router) handleProxyAny(w http.ResponseWriter, r *http.Request) {
 }
 
 // noteEpoch invalidates the info cache when a sub-response reveals the
-// fleet has moved past the cached epoch.
+// fleet has moved past the cached epoch, and evicts the superseded
+// crux export so an old epoch's full export never lingers in memory
+// after a swap.
 func (rt *Router) noteEpoch(epoch uint64) {
 	if epoch == 0 {
 		return
@@ -471,7 +749,21 @@ func (rt *Router) noteEpoch(epoch uint64) {
 		rt.info = nil
 	}
 	rt.infoMu.Unlock()
+	rt.evictCruxBefore(epoch)
 	mRouterEpoch.Set(int64(epoch))
+}
+
+// evictCruxBefore drops the cached crux export if it was assembled
+// from an epoch older than epoch. The locks are taken sequentially,
+// never nested, so this cannot deadlock against cruxData (which holds
+// cruxMu while consulting the info cache).
+func (rt *Router) evictCruxBefore(epoch uint64) {
+	rt.cruxMu.Lock()
+	if rt.cruxRecords != nil && rt.cruxEpoch < epoch {
+		rt.cruxRecords = nil
+		rt.cruxEpoch = 0
+	}
+	rt.cruxMu.Unlock()
 }
 
 // handleList proxies the list query to the shard owning its
@@ -494,11 +786,12 @@ func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
 	}
 	// Two passes at most: if the proxied response reveals a new epoch
 	// (the default month may have changed with the dataset), refresh
-	// the info cache and re-route once.
+	// the info cache and re-route once. One budget covers both passes.
+	b := rt.budgetFor(false)
 	for attempt := 0; ; attempt++ {
 		def, epoch, err := rt.analysisMonth(r.Context())
 		if err != nil {
-			HTTPError(w, http.StatusBadGateway, "fleet info unavailable: %v", err)
+			degrade(w, err, "fleet info unavailable")
 			return
 		}
 		month, err := ParseMonth(q.Get("month"), def)
@@ -507,9 +800,13 @@ func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		shard := ShardOf(country, month, len(rt.shards))
-		resp, err := rt.do(r.Context(), shard, http.MethodGet, r.URL.RequestURI())
+		resp, err := rt.do(r.Context(), shard, http.MethodGet, r.URL.RequestURI(), b)
 		if err != nil {
-			HTTPError(w, http.StatusBadGateway, "shard %d unreachable: %v", shard, err)
+			degrade(w, err, "list proxy failed")
+			return
+		}
+		if gatewayish(resp.status) {
+			shed(w, "shard %d answered gateway status %d", shard, resp.status)
 			return
 		}
 		if resp.epoch != 0 && resp.epoch != epoch && attempt == 0 {
@@ -557,12 +854,16 @@ func (rt *Router) handleSite(w http.ResponseWriter, r *http.Request) {
 		HTTPError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	resps, err := rt.fanout(r.Context(), r.URL.RequestURI())
+	resps, err := rt.fanout(r.Context(), r.URL.RequestURI(), rt.budgetFor(true))
 	if err != nil {
-		shed(w, "site fan-out failed: %v", err)
+		degrade(w, err, "site fan-out failed")
 		return
 	}
-	for _, resp := range resps {
+	for i, resp := range resps {
+		if gatewayish(resp.status) {
+			shed(w, "shard %d answered gateway status %d", i, resp.status)
+			return
+		}
 		if resp.status != http.StatusOK {
 			forward(w, resp)
 			return
@@ -585,7 +886,7 @@ func (rt *Router) handleSite(w http.ResponseWriter, r *http.Request) {
 	}
 	info, err := rt.getInfo(r.Context())
 	if err != nil {
-		HTTPError(w, http.StatusBadGateway, "fleet info unavailable: %v", err)
+		degrade(w, err, "fleet info unavailable")
 		return
 	}
 	curve := endemicity.BuildCurve(merged.Key, ranks, info.Countries)
@@ -631,7 +932,7 @@ func (rt *Router) handleCrux(w http.ResponseWriter, r *http.Request) {
 	}
 	recs, epoch, err := rt.cruxData(r.Context())
 	if err != nil {
-		shed(w, "crux reassembly failed: %v", err)
+		degrade(w, err, "crux reassembly failed")
 		return
 	}
 	w.Header().Set(EpochHeader, strconv.FormatUint(epoch, 10))
@@ -653,7 +954,7 @@ func (rt *Router) cruxData(ctx context.Context) ([]crux.Record, uint64, error) {
 	if rt.cruxRecords != nil && rt.cruxEpoch == info.Epoch {
 		return rt.cruxRecords, rt.cruxEpoch, nil
 	}
-	resps, err := rt.fanout(ctx, "/shard/lists")
+	resps, err := rt.fanout(ctx, "/shard/lists", rt.budgetFor(true))
 	if err != nil {
 		return nil, 0, err
 	}
@@ -764,6 +1065,7 @@ func (rt *Router) handleSwap(w http.ResponseWriter, r *http.Request) {
 		return res
 	})
 	rt.invalidate()
+	rt.evictCruxBefore(epoch)
 	ok := true
 	for _, res := range results {
 		if res.Status != http.StatusOK {

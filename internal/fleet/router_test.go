@@ -1,10 +1,12 @@
 package fleet
 
 import (
+	"encoding/json"
 	"io"
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -166,7 +168,9 @@ func TestRouterForwardsShedWhenAllReplicasShed(t *testing.T) {
 }
 
 // TestRouterReportsGatewayErrorWhenShardUnreachable: a shard with no
-// live replica at all is a 502, distinct from a shed.
+// live replica at all degrades to an explicit 503 with Retry-After and
+// the dark shard attributed in the envelope — partial degradation is
+// loud and machine-readable, never anonymous gateway noise.
 func TestRouterReportsGatewayErrorWhenShardUnreachable(t *testing.T) {
 	log.SetOutput(io.Discard)
 	defer log.SetOutput(prevWriter())
@@ -178,7 +182,26 @@ func TestRouterReportsGatewayErrorWhenShardUnreachable(t *testing.T) {
 	router := httptest.NewServer(rt.Routes(MiddlewareConfig{}))
 	defer router.Close()
 
-	if status, _, _ := fetch(t, router.URL, "/v1/dist?n=5"); status != http.StatusBadGateway {
-		t.Fatalf("status %d, want 502 for an unreachable shard", status)
+	resp, err := http.Get(router.URL + "/v1/dist?n=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 for an unreachable shard", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("degraded response is missing Retry-After")
+	}
+	var env map[string]string
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("degraded body is not a JSON envelope: %v (%q)", err, body)
+	}
+	if !strings.Contains(env["error"], "shard 0") {
+		t.Errorf("degraded envelope %q does not attribute shard 0", env["error"])
 	}
 }

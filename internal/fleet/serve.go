@@ -1,0 +1,37 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"log"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Serve runs srv on ln until ctx is cancelled (SIGINT/SIGTERM in
+// production), then shuts down gracefully: the listener closes first
+// so new connections are refused while in-flight requests get up to
+// drain to finish. Shared by wwbserve, wwbrouter, and wwbfleet so
+// every fleet process drains identically; split from the mains so the
+// shutdown path is testable.
+func Serve(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration) error {
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+		log.Printf("shutting down (%v)", context.Cause(ctx))
+		sctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			return err
+		}
+		<-errCh // Serve has returned ErrServerClosed
+		return nil
+	}
+}

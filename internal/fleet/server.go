@@ -504,6 +504,9 @@ func (s *Server) handleShardInfo(w http.ResponseWriter, _ *http.Request) {
 		"countries": st.ds.Countries,
 		"months":    months,
 		"lists":     st.ds.NumLists(),
+		// The artifact behind the serving epoch ("" for the boot
+		// dataset) — the supervisor reads it to attribute rollbacks.
+		"data": st.path,
 	})
 }
 
@@ -513,9 +516,9 @@ func (s *Server) handleShardInfo(w http.ResponseWriter, _ *http.Request) {
 // crux.ExportFrom over the union in roster order, reproducing the
 // exact float accumulation order of a single process.
 type shardLists struct {
-	Epoch     uint64                               `json:"epoch"`
-	Month     string                               `json:"month"`
-	Countries []string                             `json:"countries"`
+	Epoch     uint64                                `json:"epoch"`
+	Month     string                                `json:"month"`
+	Countries []string                              `json:"countries"`
 	Lists     map[string]map[string]chrome.RankList `json:"lists"`
 }
 
