@@ -41,18 +41,15 @@ import (
 	"wwb/internal/world"
 )
 
-// loadSnapshot is the POST /admin/swap loader: a plain streaming
-// decode, deliberately not the mmap fast path — a swapped-in mapping
-// would have to outlive the request that installed it, and the old
-// epoch's pages must stay valid until its last in-flight request
-// drains. Heap-decoded datasets make both lifetimes GC-managed.
+// loadSnapshot is the POST /admin/swap loader: a plain heap decode,
+// deliberately not the mmap fast path — a swapped-in mapping would
+// have to outlive the request that installed it, and the old epoch's
+// pages must stay valid until its last in-flight request drains.
+// Heap-decoded datasets make both lifetimes GC-managed. Going through
+// DecodeAnyPath means a swap target may be a .wwbd delta, whose base
+// chain is resolved relative to the delta's own directory.
 func loadSnapshot(path string) (*chrome.Dataset, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	ds, _, err := chrome.DecodeAny(f)
+	ds, _, err := chrome.DecodeAnyPath(path)
 	return ds, err
 }
 
@@ -171,6 +168,10 @@ func logDatasetLoad(path string, ds *chrome.Dataset, info *chrome.SnapshotInfo, 
 	case chrome.FormatWWB:
 		log.Printf("loaded %s: wwb snapshot v%d (tool %q, world seed %d, scale %q) in %s",
 			path, info.Version, info.Provenance.Tool, info.Provenance.WorldSeed,
+			info.Provenance.Scale, took.Round(time.Millisecond))
+	case chrome.FormatWWBD:
+		log.Printf("loaded %s: wwbd delta chain of %d over base (producer %q, world seed %d, scale %q) in %s",
+			path, info.Chain, info.Provenance.Tool, info.Provenance.WorldSeed,
 			info.Provenance.Scale, took.Round(time.Millisecond))
 	default:
 		log.Printf("loaded %s: json dataset in %s", path, took.Round(time.Millisecond))

@@ -3,13 +3,24 @@
 package main
 
 import (
+	"io"
 	"os"
 
 	"wwb/internal/chrome"
 )
 
 // decodeDataFile loads a -data artifact via the portable streaming
-// decoder on platforms without mmap support.
+// decoder on platforms without mmap support. A .wwbd delta needs its
+// base resolved relative to the file's directory, so the delta magic
+// routes to the path-aware chain resolver.
 func decodeDataFile(f *os.File) (*chrome.Dataset, *chrome.SnapshotInfo, error) {
+	var prefix [8]byte
+	n, _ := io.ReadFull(f, prefix[:])
+	if chrome.IsDeltaSnapshot(prefix[:n]) {
+		return chrome.DecodeAnyPath(f.Name())
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, nil, err
+	}
 	return chrome.DecodeAny(f)
 }

@@ -13,7 +13,9 @@ import (
 // decoded through the zero-copy bytes path — the dataset copies
 // everything it keeps, so the mapping is released before returning.
 // Anything not mappable (pipes, empty files) falls back to the
-// streaming decoder.
+// streaming decoder. A .wwbd delta cannot decode from its own bytes —
+// its base resolves relative to the file's directory — so the delta
+// magic routes to the path-aware chain resolver instead.
 func decodeDataFile(f *os.File) (*chrome.Dataset, *chrome.SnapshotInfo, error) {
 	st, err := f.Stat()
 	if err != nil || !st.Mode().IsRegular() || st.Size() <= 0 || int64(int(st.Size())) != st.Size() {
@@ -24,5 +26,8 @@ func decodeDataFile(f *os.File) (*chrome.Dataset, *chrome.SnapshotInfo, error) {
 		return chrome.DecodeAny(f)
 	}
 	defer syscall.Munmap(data)
+	if chrome.IsDeltaSnapshot(data) {
+		return chrome.DecodeAnyPath(f.Name())
+	}
 	return chrome.DecodeAnyBytes(data)
 }

@@ -120,10 +120,24 @@ type Dataset struct {
 	// captured by its (thresholded, truncated) rank list.
 	coverage map[string]float64
 
-	// index is the lazily built site-key interner (see index.go); the
-	// Once covers assembled and decoded datasets alike.
-	indexOnce sync.Once
-	index     *KeyIndex
+	// mu guards the mutation generation and the memoized index slot.
+	// gen counts dataset mutations (month appends); indexGen records
+	// the generation the memoized index was built against, so a stale
+	// index can never be served after an append (see Index).
+	mu       sync.Mutex
+	gen      uint64
+	index    *KeyIndex
+	indexGen uint64
+}
+
+// Generation reports how many times the dataset has been mutated by a
+// month append. Every dataset-derived memo (the interned index here,
+// the analysis cache in core) is keyed by this counter, so a mutation
+// can never serve pre-append views.
+func (d *Dataset) Generation() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.gen
 }
 
 func listKey(country string, p world.Platform, m world.Metric, month world.Month) string {

@@ -78,9 +78,89 @@ func buildIndex(ds *Dataset) *KeyIndex {
 // Index returns the dataset's interned site-key index, building it on
 // first use. The build walks every rank list once; all later analyses
 // share the result.
+//
+// The memo is generation-checked: a month append bumps the dataset
+// generation and installs an incrementally grown index alongside it
+// (see applyIncrement), so a pre-append index can never be served. If
+// the generations ever disagree — a mutation that bypassed the append
+// bookkeeping — the index is rebuilt from scratch, trading time for
+// guaranteed freshness.
 func (d *Dataset) Index() *KeyIndex {
-	d.indexOnce.Do(func() { d.index = buildIndex(d) })
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.index == nil || d.indexGen != d.gen {
+		d.index = buildIndex(d)
+		d.indexGen = d.gen
+	}
 	return d.index
+}
+
+// growIndex extends an index with the site keys of an appended month's
+// rank lists, preserving the canonical invariant that IDs numerically
+// sorted equal keys lexically sorted — the property every ID-path
+// analysis (and the snapshot INDX section) relies on for byte-identity
+// with a full rebuild. Keys not seen before are sorted and merged into
+// the existing sorted universe, existing IDs are remapped by a single
+// O(universe) pass, and every memoized per-cell view is remapped in
+// place of being recomputed — no PSL parse and no dedup pass runs for
+// any pre-existing cell. When the appended lists introduce no new
+// keys, the existing index is reused untouched.
+func growIndex(d *Dataset, old *KeyIndex, newLists map[string]RankList) *KeyIndex {
+	fresh := make(map[string]struct{})
+	for _, l := range newLists {
+		for _, e := range l {
+			k := psl.Default.SiteKey(e.Domain)
+			if _, ok := old.ID(k); !ok {
+				fresh[k] = struct{}{}
+			}
+		}
+	}
+	if len(fresh) == 0 {
+		return old
+	}
+	add := make([]string, 0, len(fresh))
+	for k := range fresh {
+		add = append(add, k)
+	}
+	sort.Strings(add)
+
+	merged := make([]string, 0, len(old.keys)+len(add))
+	remap := make([]KeyID, len(old.keys))
+	i, j := 0, 0
+	for i < len(old.keys) || j < len(add) {
+		// No duplicates across the two inputs: fresh excluded every key
+		// already interned.
+		if j >= len(add) || (i < len(old.keys) && old.keys[i] < add[j]) {
+			remap[i] = KeyID(len(merged))
+			merged = append(merged, old.keys[i])
+			i++
+		} else {
+			merged = append(merged, add[j])
+			j++
+		}
+	}
+	var ids map[string]KeyID
+	if old.ids != nil {
+		ids = make(map[string]KeyID, len(merged))
+		for k, key := range merged {
+			ids[key] = KeyID(k)
+		}
+	}
+	nx := &KeyIndex{ds: d, keys: merged, ids: ids, cells: make(map[string]*cellKeys, len(old.cells))}
+	old.mu.Lock()
+	for k, c := range old.cells {
+		// firstPos is untouched by an ID renumbering; the ids slice is
+		// rebuilt rather than mutated so any reader still holding the
+		// old index sees a consistent (if stale) view. rankOf maps
+		// KeyIDs, so it is dropped and rebuilt lazily on demand.
+		nc := &cellKeys{ids: make([]KeyID, len(c.ids)), firstPos: c.firstPos}
+		for i, id := range c.ids {
+			nc.ids[i] = remap[id]
+		}
+		nx.cells[k] = nc
+	}
+	old.mu.Unlock()
+	return nx
 }
 
 // NumKeys returns the size of the interned key universe; valid KeyIDs

@@ -95,6 +95,20 @@ func parseCellKey(key string) error {
 	return nil
 }
 
+// cellKeyMonthOf extracts the month field from a cell key that has
+// already passed parseCellKey.
+func cellKeyMonthOf(key string) (world.Month, error) {
+	parts := strings.Split(key, "|")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("cell key %q: want country|platform|metric|month", key)
+	}
+	mo, err := strconv.Atoi(parts[3])
+	if err != nil || !world.ValidMonth(mo) {
+		return 0, fmt.Errorf("cell key %q: bad month %q", key, parts[3])
+	}
+	return world.Month(mo), nil
+}
+
 // validateDataset checks every invariant an assembled dataset holds,
 // so decoded files behave like assembled ones.
 func validateDataset(dj *datasetJSON) error {

@@ -46,10 +46,12 @@ import (
 // SnapshotVersion is the format version this build reads and writes.
 const SnapshotVersion = 1
 
-// Detected dataset formats, as reported by DecodeAny.
+// Detected dataset formats, as reported by DecodeAny and
+// DecodeAnyPath.
 const (
 	FormatWWB  = "wwb"
 	FormatJSON = "json"
+	FormatWWBD = "wwbd"
 )
 
 // snapshotMagic opens every .wwb file. Like PNG's signature it embeds
@@ -84,12 +86,18 @@ type SnapshotProvenance struct {
 
 // SnapshotInfo describes a decoded dataset artifact.
 type SnapshotInfo struct {
-	// Format is FormatWWB or FormatJSON.
+	// Format is FormatWWB, FormatJSON, or FormatWWBD (a dataset
+	// resolved through a base+delta chain).
 	Format string
 	// Version is the snapshot format version (0 for JSON).
 	Version uint32
-	// Provenance is the embedded provenance (zero for JSON).
+	// Provenance is the embedded provenance (zero for JSON). For a
+	// resolved delta chain it is the final delta's producer
+	// provenance.
 	Provenance SnapshotProvenance
+	// Chain counts delta links resolved to produce the dataset: 0 for
+	// a plain artifact, n for a base plus n stacked deltas.
+	Chain int
 }
 
 // IsSnapshot reports whether a file prefix carries the .wwb magic.
@@ -234,80 +242,8 @@ func (d *Dataset) EncodeSnapshot(w io.Writer, prov SnapshotProvenance) error {
 		return fmt.Errorf("chrome: snapshot: writing META: %w", err)
 	}
 
-	// DOMS: the deduplicated domain table, sorted. Rank-list entries
-	// reference domains by index, so each distinct domain string is
-	// stored (and later allocated) exactly once.
-	domSet := make(map[string]struct{})
-	for _, k := range listKeys {
-		for _, en := range d.lists[k] {
-			domSet[en.Domain] = struct{}{}
-		}
-	}
-	doms := make([]string, 0, len(domSet))
-	for dom := range domSet {
-		doms = append(doms, dom)
-	}
-	sort.Strings(doms)
-	domIdx := make(map[string]uint64, len(doms))
-	for i, dom := range doms {
-		domIdx[dom] = uint64(i)
-	}
-	e.uvarint(uint64(len(doms)))
-	for _, dom := range doms {
-		e.str(dom)
-	}
-	if err := e.flushSection("DOMS"); err != nil {
-		return fmt.Errorf("chrome: snapshot: writing DOMS: %w", err)
-	}
-
-	// LSTS: every rank list, keys sorted. Entries are fixed 12-byte
-	// records (u32 domain index + f64 value) so a decoder can skip a
-	// whole cell in O(1) and fan cell decoding out across CPUs.
-	e.uvarint(uint64(len(listKeys)))
-	for _, k := range listKeys {
-		e.str(k)
-		list := d.lists[k]
-		if list == nil {
-			e.sec.WriteByte(presNil)
-			continue
-		}
-		e.sec.WriteByte(presSome)
-		e.uvarint(uint64(len(list)))
-		for _, en := range list {
-			e.u32(uint32(domIdx[en.Domain]))
-			e.f64(en.Value)
-		}
-	}
-	if err := e.flushSection("LSTS"); err != nil {
-		return fmt.Errorf("chrome: snapshot: writing LSTS: %w", err)
-	}
-
-	// COVR: per-cell coverage shares, keys sorted.
-	covKeys := sortedKeys(d.coverage)
-	e.uvarint(uint64(len(covKeys)))
-	for _, k := range covKeys {
-		e.str(k)
-		e.f64(d.coverage[k])
-	}
-	if err := e.flushSection("COVR"); err != nil {
-		return fmt.Errorf("chrome: snapshot: writing COVR: %w", err)
-	}
-
-	// DIST: the global distribution curves, keys sorted.
-	distKeys := sortedKeys(d.dist)
-	e.uvarint(uint64(len(distKeys)))
-	for _, k := range distKeys {
-		e.str(k)
-		curve := d.dist[k]
-		if curve == nil {
-			e.sec.WriteByte(presNil)
-			continue
-		}
-		e.sec.WriteByte(presSome)
-		e.f64Slice(curve.Shares)
-	}
-	if err := e.flushSection("DIST"); err != nil {
-		return fmt.Errorf("chrome: snapshot: writing DIST: %w", err)
+	if err := encodeDataSections(e, listKeys, d.lists, d.coverage, d.dist); err != nil {
+		return err
 	}
 
 	// INDX: the interned key universe plus one materialised view per
@@ -334,6 +270,89 @@ func (d *Dataset) EncodeSnapshot(w io.Writer, prov SnapshotProvenance) error {
 		return fmt.Errorf("chrome: snapshot: writing INDX: %w", err)
 	}
 	return e.w.Flush()
+}
+
+// encodeDataSections writes the DOMS/LSTS/COVR/DIST quartet for the
+// given cell maps — shared by full snapshots (the whole dataset) and
+// delta snapshots (one month's increment), so both formats carry the
+// identical byte layout for the identical data.
+func encodeDataSections(e *snapEncoder, listKeys []string, lists map[string]RankList, coverage map[string]float64, dist map[string]*DistCurve) error {
+	// DOMS: the deduplicated domain table, sorted. Rank-list entries
+	// reference domains by index, so each distinct domain string is
+	// stored (and later allocated) exactly once.
+	domSet := make(map[string]struct{})
+	for _, k := range listKeys {
+		for _, en := range lists[k] {
+			domSet[en.Domain] = struct{}{}
+		}
+	}
+	doms := make([]string, 0, len(domSet))
+	for dom := range domSet {
+		doms = append(doms, dom)
+	}
+	sort.Strings(doms)
+	domIdx := make(map[string]uint64, len(doms))
+	for i, dom := range doms {
+		domIdx[dom] = uint64(i)
+	}
+	e.uvarint(uint64(len(doms)))
+	for _, dom := range doms {
+		e.str(dom)
+	}
+	if err := e.flushSection("DOMS"); err != nil {
+		return fmt.Errorf("chrome: snapshot: writing DOMS: %w", err)
+	}
+
+	// LSTS: every rank list, keys sorted. Entries are fixed 12-byte
+	// records (u32 domain index + f64 value) so a decoder can skip a
+	// whole cell in O(1) and fan cell decoding out across CPUs.
+	e.uvarint(uint64(len(listKeys)))
+	for _, k := range listKeys {
+		e.str(k)
+		list := lists[k]
+		if list == nil {
+			e.sec.WriteByte(presNil)
+			continue
+		}
+		e.sec.WriteByte(presSome)
+		e.uvarint(uint64(len(list)))
+		for _, en := range list {
+			e.u32(uint32(domIdx[en.Domain]))
+			e.f64(en.Value)
+		}
+	}
+	if err := e.flushSection("LSTS"); err != nil {
+		return fmt.Errorf("chrome: snapshot: writing LSTS: %w", err)
+	}
+
+	// COVR: per-cell coverage shares, keys sorted.
+	covKeys := sortedKeys(coverage)
+	e.uvarint(uint64(len(covKeys)))
+	for _, k := range covKeys {
+		e.str(k)
+		e.f64(coverage[k])
+	}
+	if err := e.flushSection("COVR"); err != nil {
+		return fmt.Errorf("chrome: snapshot: writing COVR: %w", err)
+	}
+
+	// DIST: the global distribution curves, keys sorted.
+	distKeys := sortedKeys(dist)
+	e.uvarint(uint64(len(distKeys)))
+	for _, k := range distKeys {
+		e.str(k)
+		curve := dist[k]
+		if curve == nil {
+			e.sec.WriteByte(presNil)
+			continue
+		}
+		e.sec.WriteByte(presSome)
+		e.f64Slice(curve.Shares)
+	}
+	if err := e.flushSection("DIST"); err != nil {
+		return fmt.Errorf("chrome: snapshot: writing DIST: %w", err)
+	}
+	return nil
 }
 
 // ---------------------------------------------------------------------------
@@ -1145,7 +1164,7 @@ func decodeSections(next func(tag string) (*snapCursor, error), atEOF func() err
 	// No key→ID map: the sorted universe makes KeyIndex.ID a binary
 	// search, which costs nothing to restore.
 	ix := &KeyIndex{ds: ds, keys: sd.keys, cells: sd.cells}
-	ds.indexOnce.Do(func() { ds.index = ix })
+	ds.index = ix // freshly built dataset: generation 0 == indexGen 0
 	return ds, &SnapshotInfo{Format: FormatWWB, Version: version, Provenance: sd.prov}, nil
 }
 
@@ -1162,6 +1181,9 @@ func DecodeAny(r io.Reader) (*Dataset, *SnapshotInfo, error) {
 		// DecodeSnapshot may still measure a seekable r through it.
 		return decodeSnapshotBuffered(br, r)
 	}
+	if err == nil && IsDeltaSnapshot(prefix) {
+		return nil, nil, errDeltaNeedsPath
+	}
 	ds, err := Decode(br)
 	if err != nil {
 		return nil, nil, err
@@ -1175,6 +1197,9 @@ func DecodeAny(r io.Reader) (*Dataset, *SnapshotInfo, error) {
 func DecodeAnyBytes(data []byte) (*Dataset, *SnapshotInfo, error) {
 	if IsSnapshot(data) {
 		return DecodeSnapshotBytes(data)
+	}
+	if IsDeltaSnapshot(data) {
+		return nil, nil, errDeltaNeedsPath
 	}
 	ds, err := Decode(bytes.NewReader(data))
 	if err != nil {

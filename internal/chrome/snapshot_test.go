@@ -259,6 +259,7 @@ func FuzzDecodeSnapshot(f *testing.F) {
 	binary.LittleEndian.PutUint32(future[8:12], 99)
 	f.Add(future)
 	f.Add(snapshotMagic[:])
+	f.Add(deltaMagic[:])
 	f.Add([]byte{})
 	f.Add([]byte(`{"lists":{}}`))
 

@@ -189,18 +189,57 @@ func entryBefore(a, b Entry) bool {
 func assembleStreamCtx(ctx context.Context, w *world.World, tcfg telemetry.Config, opts Options) (*Dataset, error) {
 	assembleStart := time.Now()
 	ds, jobs := newDataset(w, opts)
+
+	accLoads, accTime, err := runStreamCells(ctx, w, tcfg, opts, jobs, ds.lists, ds.coverage)
+	if err != nil {
+		return nil, err
+	}
+
+	curveStart := time.Now()
+	for _, p := range world.Platforms {
+		// NewDistCurve copies and keeps only positive volumes, so the
+		// dense vectors (zeros for never-seen keys) feed it directly.
+		ds.dist[distKey(p, world.PageLoads)] = NewDistCurve(accLoads[p])
+		ds.dist[distKey(p, world.TimeOnPage)] = NewDistCurve(accTime[p])
+	}
+	metrics.ObserveStage("chrome.stream.curves", time.Since(curveStart))
+	metrics.ObserveStage("chrome.assemble", time.Since(assembleStart))
+	return ds, nil
+}
+
+// runStreamCells is the streaming engine shared by full assembly and
+// incremental month appends: it samples the given jobs through the
+// bounded-memory pipeline, writes rank lists and coverage into the
+// caller's maps, and returns the dense per-platform distribution
+// accumulators fed by every job whose month is opts.DistMonth (both
+// nil when no job touches DistMonth — an append of a non-dist month
+// skips the interning pass entirely). Cells fork their RNG streams
+// from the job identity alone, so any subset of the canonical job
+// list produces exactly the cells a full run would — the property the
+// append-equals-rebuild guarantee rests on.
+func runStreamCells(ctx context.Context, w *world.World, tcfg telemetry.Config, opts Options, jobs []cellJob, lists map[string]RankList, coverage map[string]float64) (accLoads, accTime map[world.Platform][]float64, err error) {
 	root := world.NewRNG(opts.Seed)
 
-	indexStart := time.Now()
-	di := buildDistKeyIndex(w)
-	metrics.ObserveStage("chrome.stream.index", time.Since(indexStart))
+	needDist := false
+	for _, j := range jobs {
+		if j.month == opts.DistMonth {
+			needDist = true
+			break
+		}
+	}
+	var di *distKeyIndex
+	if needDist {
+		indexStart := time.Now()
+		di = buildDistKeyIndex(w)
+		metrics.ObserveStage("chrome.stream.index", time.Since(indexStart))
 
-	// Dense global distribution accumulators, one pair per platform.
-	accLoads := make(map[world.Platform][]float64, len(world.Platforms))
-	accTime := make(map[world.Platform][]float64, len(world.Platforms))
-	for _, p := range world.Platforms {
-		accLoads[p] = make([]float64, di.n)
-		accTime[p] = make([]float64, di.n)
+		// Dense global distribution accumulators, one pair per platform.
+		accLoads = make(map[world.Platform][]float64, len(world.Platforms))
+		accTime = make(map[world.Platform][]float64, len(world.Platforms))
+		for _, p := range world.Platforms {
+			accLoads[p] = make([]float64, di.n)
+			accTime[p] = make([]float64, di.n)
+		}
 	}
 
 	scratchPool := sync.Pool{New: func() any {
@@ -282,33 +321,23 @@ func assembleStreamCtx(ctx context.Context, w *world.World, tcfg telemetry.Confi
 			}
 			distPool.Put(res.dist)
 		}
-		ds.lists[listKey(j.country, j.platform, world.PageLoads, j.month)] = res.byLoads
-		ds.lists[listKey(j.country, j.platform, world.TimeOnPage, j.month)] = res.byTime
+		lists[listKey(j.country, j.platform, world.PageLoads, j.month)] = res.byLoads
+		lists[listKey(j.country, j.platform, world.TimeOnPage, j.month)] = res.byTime
 		if res.hasLoads {
-			ds.coverage[listKey(j.country, j.platform, world.PageLoads, j.month)] = res.covLoads
+			coverage[listKey(j.country, j.platform, world.PageLoads, j.month)] = res.covLoads
 		}
 		if res.hasTime {
-			ds.coverage[listKey(j.country, j.platform, world.TimeOnPage, j.month)] = res.covTime
+			coverage[listKey(j.country, j.platform, world.TimeOnPage, j.month)] = res.covTime
 		}
 		return nil
 	}
 
 	if err := parallel.StreamCtx(ctx, opts.Workers, len(jobs), produce, consume); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-
-	curveStart := time.Now()
-	for _, p := range world.Platforms {
-		// NewDistCurve copies and keeps only positive volumes, so the
-		// dense vectors (zeros for never-seen keys) feed it directly.
-		ds.dist[distKey(p, world.PageLoads)] = NewDistCurve(accLoads[p])
-		ds.dist[distKey(p, world.TimeOnPage)] = NewDistCurve(accTime[p])
-	}
-	metrics.ObserveStage("chrome.stream.curves", time.Since(curveStart))
 	metrics.ObserveStage("chrome.stream.select", selectNanos.duration())
 	metrics.ObserveStage("chrome.stream.merge", mergeNanos.duration())
-	metrics.ObserveStage("chrome.assemble", time.Since(assembleStart))
-	return ds, nil
+	return accLoads, accTime, nil
 }
 
 // atomicNanos accumulates durations from many goroutines.

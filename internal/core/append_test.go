@@ -1,0 +1,106 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"wwb/internal/analysis"
+	"wwb/internal/chrome"
+	"wwb/internal/world"
+)
+
+// TestAppendMonthInvalidatesMemos is the stale-memo regression test at
+// the study level: warm every class of memoized analysis, append a
+// month that rolls the analysis month forward, re-query, and require
+// the answers to match a study built fresh over the extended window.
+// Before generation-keyed memo keys and the cache purge, the warmed
+// entries — keyed only by platform/metric — would be served verbatim
+// after the mutation.
+func TestAppendMonthInvalidatesMemos(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.Chrome.Months = []world.Month{world.Jan2022, world.Feb2022}
+	s := New(cfg)
+
+	// Warm memos against the pre-append dataset.
+	preConc := s.Concentration(world.Windows, world.PageLoads)
+	preAgree := s.MetricAgreement(world.Windows, 1000)
+	preUse := s.UseCases(world.Windows, world.PageLoads, 1000)
+	preSim := s.CountrySimilarity(world.Windows, world.PageLoads)
+
+	inc, err := s.AppendMonth(context.Background(), chrome.AppendOptions{Month: world.Mar2022, RollDist: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inc.RollDist || s.Month != world.Mar2022 {
+		t.Fatalf("study month = %s after roll append, want 2022-03", s.Month)
+	}
+	if s.Cfg.Chrome.DistMonth != world.Mar2022 || len(s.Cfg.Chrome.Months) != 3 {
+		t.Fatalf("study config not rolled forward: %+v", s.Cfg.Chrome)
+	}
+
+	freshCfg := SmallConfig()
+	freshCfg.Chrome.Months = []world.Month{world.Jan2022, world.Feb2022, world.Mar2022}
+	freshCfg.Chrome.DistMonth = world.Mar2022
+	fresh := New(freshCfg)
+
+	checks := []struct {
+		name      string
+		got, want any
+	}{
+		{"Concentration", s.Concentration(world.Windows, world.PageLoads), fresh.Concentration(world.Windows, world.PageLoads)},
+		{"MetricAgreement", s.MetricAgreement(world.Windows, 1000), fresh.MetricAgreement(world.Windows, 1000)},
+		{"UseCases", s.UseCases(world.Windows, world.PageLoads, 1000), fresh.UseCases(world.Windows, world.PageLoads, 1000)},
+		{"CountrySimilarity", s.CountrySimilarity(world.Windows, world.PageLoads), fresh.CountrySimilarity(world.Windows, world.PageLoads)},
+		{"Endemicity", s.Endemicity(world.Windows, world.PageLoads), fresh.Endemicity(world.Windows, world.PageLoads)},
+	}
+	for _, c := range checks {
+		if !reflect.DeepEqual(c.got, c.want) {
+			t.Errorf("%s after append differs from fresh build over the extended window", c.name)
+		}
+	}
+
+	// And the appended answers must actually differ from the warmed
+	// pre-append ones — identical results would mean the memo, not the
+	// analysis, answered.
+	if reflect.DeepEqual(preConc, s.Concentration(world.Windows, world.PageLoads)) &&
+		reflect.DeepEqual(preAgree, s.MetricAgreement(world.Windows, 1000)) &&
+		reflect.DeepEqual(preUse, s.UseCases(world.Windows, world.PageLoads, 1000)) &&
+		reflect.DeepEqual(preSim, s.CountrySimilarity(world.Windows, world.PageLoads)) {
+		t.Error("every analysis unchanged after the analysis month rolled — stale memos")
+	}
+
+	// Temporal directly reads the appended month.
+	rows := s.Temporal(world.Windows, world.PageLoads,
+		[]analysis.MonthPair{{A: world.Feb2022, B: world.Mar2022}}, []int{100})
+	freshRows := fresh.Temporal(world.Windows, world.PageLoads,
+		[]analysis.MonthPair{{A: world.Feb2022, B: world.Mar2022}}, []int{100})
+	if !reflect.DeepEqual(rows, freshRows) {
+		t.Error("temporal rows over the appended month differ from fresh build")
+	}
+}
+
+// TestAppendMonthNonRollKeepsAnalysisMonth: a plain append leaves the
+// analysis month and the distribution curves untouched, and
+// month-pinned memoized results stay equal (recomputed, same input) to
+// their pre-append values.
+func TestAppendMonthNonRollKeepsAnalysisMonth(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.Chrome.Months = []world.Month{world.Feb2022}
+	s := New(cfg)
+	preConc := s.Concentration(world.Windows, world.PageLoads)
+	preDist := s.Dataset.Dist(world.Windows, world.PageLoads)
+
+	if _, err := s.AppendMonth(context.Background(), chrome.AppendOptions{Month: world.Mar2022}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Month != world.Feb2022 {
+		t.Fatalf("analysis month moved to %s on non-roll append", s.Month)
+	}
+	if s.Dataset.Dist(world.Windows, world.PageLoads) != preDist {
+		t.Error("non-roll append replaced the distribution curves")
+	}
+	if !reflect.DeepEqual(preConc, s.Concentration(world.Windows, world.PageLoads)) {
+		t.Error("February-pinned concentration changed after appending March")
+	}
+}

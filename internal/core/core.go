@@ -131,30 +131,9 @@ func NewCtx(ctx context.Context, cfg Config) (*Study, error) {
 	validation := catapi.Validate(svc, cfg.SamplesPerCategory)
 	metrics.ObserveStage("catapi.validate", time.Since(validateStart))
 
-	// Manual verification pass (Section 3.2): the authors verified
-	// search engines and social networks within the top 100 sites of
-	// every country. Collect those domains and verify them against
-	// the oracle.
 	verifyStart := time.Now()
 	month := cfg.Chrome.DistMonth
-	candidates := map[string]struct{}{}
-	for _, country := range ds.Countries {
-		for _, p := range world.Platforms {
-			for _, m := range world.Metrics {
-				for _, e := range ds.List(country, p, m, month).TopN(100) {
-					candidates[e.Domain] = struct{}{}
-				}
-			}
-		}
-	}
-	domains := make([]string, 0, len(candidates))
-	for d := range candidates {
-		domains = append(domains, d)
-	}
-	verified := catapi.VerifyDomains(svc, domains, taxonomy.SearchEngines)
-	for d, c := range catapi.VerifyDomains(svc, domains, taxonomy.SocialNetworks) {
-		verified[d] = c
-	}
+	verified := verifyTopDomains(svc, ds, month)
 	metrics.ObserveStage("catapi.verify", time.Since(verifyStart))
 
 	// The categorisation serving path always runs through the
@@ -180,6 +159,33 @@ func NewCtx(ctx context.Context, cfg Config) (*Study, error) {
 	}, nil
 }
 
+// verifyTopDomains is the manual verification pass (Section 3.2): the
+// authors verified search engines and social networks within the top
+// 100 sites of every country. Collect those domains for the analysis
+// month and verify them against the oracle. The pass is month-bound,
+// so a roll of the analysis month re-runs it (see AppendMonth).
+func verifyTopDomains(svc *catapi.Service, ds *chrome.Dataset, month world.Month) map[string]taxonomy.Category {
+	candidates := map[string]struct{}{}
+	for _, country := range ds.Countries {
+		for _, p := range world.Platforms {
+			for _, m := range world.Metrics {
+				for _, e := range ds.List(country, p, m, month).TopN(100) {
+					candidates[e.Domain] = struct{}{}
+				}
+			}
+		}
+	}
+	domains := make([]string, 0, len(candidates))
+	for d := range candidates {
+		domains = append(domains, d)
+	}
+	verified := catapi.VerifyDomains(svc, domains, taxonomy.SearchEngines)
+	for d, c := range catapi.VerifyDomains(svc, domains, taxonomy.SocialNetworks) {
+		verified[d] = c
+	}
+	return verified
+}
+
 // Categorize maps a domain to its study category.
 func (s *Study) Categorize(domain string) taxonomy.Category {
 	return s.Categorizer.Category(domain)
@@ -200,7 +206,19 @@ type memoEntry struct {
 // lock guards only the key→entry map, so computes for different keys —
 // including analyses that depend on other memoized analyses — still
 // run freely in parallel.
+//
+// Every key is prefixed with the dataset's mutation generation: after
+// a month append the old entries can never be served again, even for
+// a mutation that bypassed Study.AppendMonth's explicit cache purge.
+// (A compute that straddles the append may still observe the old
+// dataset — single-flight admits it before the bump — but it lands
+// under the old generation's key, where no post-append caller looks.)
 func memo[T any](s *Study, key string, compute func() T) T {
+	var gen uint64
+	if s.Dataset != nil {
+		gen = s.Dataset.Generation()
+	}
+	key = strconv.FormatUint(gen, 10) + "|" + key
 	s.mu.Lock()
 	e := s.cache[key]
 	if e == nil {
@@ -210,6 +228,41 @@ func memo[T any](s *Study, key string, compute func() T) T {
 	s.mu.Unlock()
 	e.once.Do(func() { e.val = compute() })
 	return e.val.(T)
+}
+
+// AppendMonth rolls the study's dataset forward one month in place
+// (see chrome.AppendMonthCtx), keeping the study's own view of the
+// configuration consistent and purging the memoized analysis cache:
+// month-dependent results — the temporal and drift analyses read the
+// new month directly, everything keyed on the analysis month moves
+// when RollDist promotes the appended month to DistMonth — recompute
+// on next request against the mutated dataset. Like the underlying
+// append, this must not race with concurrent readers of the study.
+func (s *Study) AppendMonth(ctx context.Context, aopts chrome.AppendOptions) (*chrome.Increment, error) {
+	if aopts.Workers == 0 {
+		aopts.Workers = s.Cfg.Workers
+	}
+	inc, err := chrome.AppendMonthCtx(ctx, s.Dataset, s.World, s.Cfg.Telemetry, aopts)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.cache = map[string]*memoEntry{}
+	s.mu.Unlock()
+	s.Cfg.Chrome = inc.Opts
+	if aopts.RollDist {
+		// The analysis month moved: the Section 3.2 verification pass
+		// is bound to it, so the categorizer is rebuilt from the new
+		// month's top-100 lists — exactly what a fresh study over the
+		// extended window would verify. The resilient client and its
+		// per-domain memo are month-independent and carry over.
+		s.Month = aopts.Month
+		verifyStart := time.Now()
+		verified := verifyTopDomains(s.Service, s.Dataset, s.Month)
+		metrics.ObserveStage("catapi.verify", time.Since(verifyStart))
+		s.Categorizer = catapi.NewCategorizerFunc(s.Client.LookupFunc(), s.Validation, verified)
+	}
+	return inc, nil
 }
 
 // Concentration runs the Section 4.1 analysis (Figure 1).

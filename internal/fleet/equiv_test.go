@@ -81,7 +81,10 @@ func equivPaths(ds *chrome.Dataset) []string {
 		"/v1/site?domain=example.com&platform=ios",
 		"/no/such/endpoint",
 	}
-	months := append([]string{""}, "2022-01", "2022-02")
+	months := []string{""}
+	for _, m := range ds.Months {
+		months = append(months, m.String())
+	}
 	var domains []string
 	for _, c := range ds.Countries {
 		for _, m := range months {

@@ -101,10 +101,5 @@ func ShardOf(country string, month world.Month, n int) int {
 // MonthByName resolves a month rendered by world.Month.String
 // ("2021-09" … "2022-08"); ok is false for anything else.
 func MonthByName(s string) (world.Month, bool) {
-	for _, m := range world.ExtendedMonths {
-		if m.String() == s {
-			return m, true
-		}
-	}
-	return 0, false
+	return world.MonthByName(s)
 }

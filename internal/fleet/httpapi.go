@@ -111,16 +111,17 @@ func MetricParam(m world.Metric) string {
 	return "loads"
 }
 
-// ParseMonth maps "2021-09".."2022-02" to months; empty means def (the
-// serving dataset's analysis month).
+// ParseMonth maps "2021-09".."2022-08" to months; empty means def (the
+// serving dataset's analysis month). The accepted window is the full
+// extended one: a rolled-forward dataset serves months past the paper's
+// study window, and a month the serving dataset does not cover answers
+// 404 from the lookup, not 400 from the parser.
 func ParseMonth(v string, def world.Month) (world.Month, error) {
 	if v == "" {
 		return def, nil
 	}
-	for _, m := range world.StudyMonths {
-		if m.String() == v {
-			return m, nil
-		}
+	if m, ok := world.MonthByName(v); ok {
+		return m, nil
 	}
-	return 0, fmt.Errorf("unknown month %q (want 2021-09 … 2022-02)", v)
+	return 0, fmt.Errorf("unknown month %q (want 2021-09 … 2022-08)", v)
 }

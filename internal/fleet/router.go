@@ -274,10 +274,13 @@ type Router struct {
 	infoMu sync.Mutex
 	info   *fleetInfo
 
-	// cruxMu guards the per-epoch /v1/crux cache: the export is a full
-	// cross-shard merge, far too heavy to redo per request.
+	// cruxMu guards the /v1/crux cache: the export is a full
+	// cross-shard merge, far too heavy to redo per request. It is
+	// keyed by (epoch, month), not epoch alone — a delta swap rolls
+	// the analysis month forward, and the export is month-dependent.
 	cruxMu      sync.Mutex
 	cruxEpoch   uint64
+	cruxMonth   string
 	cruxRecords []crux.Record
 }
 
@@ -643,10 +646,24 @@ func degrade(w http.ResponseWriter, err error, what string) {
 // the first call or after invalidation.
 func (rt *Router) getInfo(ctx context.Context) (*fleetInfo, error) {
 	rt.infoMu.Lock()
-	defer rt.infoMu.Unlock()
 	if rt.info != nil {
-		return rt.info, nil
+		info := rt.info
+		rt.infoMu.Unlock()
+		return info, nil
 	}
+	rt.infoMu.Unlock()
+	return rt.probeInfo(ctx)
+}
+
+// probeInfo fetches /shard/info live from a shard, bypassing the info
+// cache, and refreshes the cache with the answer. Callers that must
+// observe out-of-band swaps — epoch bumps performed by a supervisor
+// directly against the replicas, which this router never sees as a
+// request — use this instead of getInfo: the cached epoch cannot
+// vouch for itself. probeInfo only stores the fresh info; it must not
+// evict dependent caches (evictCruxBefore takes cruxMu, which cruxData
+// holds while calling here).
+func (rt *Router) probeInfo(ctx context.Context) (*fleetInfo, error) {
 	resp, err := rt.do(ctx, 0, http.MethodGet, "/shard/info", rt.budgetFor(false))
 	if err != nil {
 		return nil, err
@@ -658,9 +675,11 @@ func (rt *Router) getInfo(ctx context.Context) (*fleetInfo, error) {
 	if err := json.Unmarshal(resp.body, &info); err != nil {
 		return nil, fmt.Errorf("decoding shard info: %w", err)
 	}
+	rt.infoMu.Lock()
 	rt.info = &info
+	rt.infoMu.Unlock()
 	mRouterEpoch.Set(int64(info.Epoch))
-	return rt.info, nil
+	return &info, nil
 }
 
 // invalidate drops the cached fleet info (and with it the default
@@ -762,6 +781,7 @@ func (rt *Router) evictCruxBefore(epoch uint64) {
 	if rt.cruxRecords != nil && rt.cruxEpoch < epoch {
 		rt.cruxRecords = nil
 		rt.cruxEpoch = 0
+		rt.cruxMonth = ""
 	}
 	rt.cruxMu.Unlock()
 }
@@ -941,17 +961,21 @@ func (rt *Router) handleCrux(w http.ResponseWriter, r *http.Request) {
 
 // cruxData returns the fleet-wide public records and the epoch they
 // were assembled from, merging /shard/lists from every shard on first
-// use per epoch.
+// use per (epoch, month).
 func (rt *Router) cruxData(ctx context.Context) ([]crux.Record, uint64, error) {
 	rt.cruxMu.Lock()
 	defer rt.cruxMu.Unlock()
-	// A cheap single-shard epoch probe decides cache validity; the
-	// expensive full fan-out only runs when the epoch moved.
-	info, err := rt.getInfo(ctx)
+	// A cheap single-shard LIVE probe decides cache validity; the
+	// expensive full fan-out only runs when the epoch or month moved.
+	// The probe must be live, not the cached getInfo: a supervisor
+	// swapping replicas out of band leaves this router's info cache at
+	// the old epoch, and a cached epoch comparing equal to itself
+	// would pin the superseded export forever.
+	info, err := rt.probeInfo(ctx)
 	if err != nil {
 		return nil, 0, err
 	}
-	if rt.cruxRecords != nil && rt.cruxEpoch == info.Epoch {
+	if rt.cruxRecords != nil && rt.cruxEpoch == info.Epoch && rt.cruxMonth == info.Month {
 		return rt.cruxRecords, rt.cruxEpoch, nil
 	}
 	resps, err := rt.fanout(ctx, "/shard/lists", rt.budgetFor(true))
@@ -959,6 +983,7 @@ func (rt *Router) cruxData(ctx context.Context) ([]crux.Record, uint64, error) {
 		return nil, 0, err
 	}
 	var roster []string
+	month := ""
 	byCountry := map[string]map[string]chrome.RankList{}
 	for i, resp := range resps {
 		if resp.status != http.StatusOK {
@@ -970,6 +995,7 @@ func (rt *Router) cruxData(ctx context.Context) ([]crux.Record, uint64, error) {
 		}
 		if roster == nil {
 			roster = sl.Countries
+			month = sl.Month
 		}
 		for c, perPlatform := range sl.Lists {
 			byCountry[c] = perPlatform
@@ -978,7 +1004,12 @@ func (rt *Router) cruxData(ctx context.Context) ([]crux.Record, uint64, error) {
 	recs := crux.ExportFrom(roster, func(country string, p world.Platform) chrome.RankList {
 		return byCountry[country][PlatformParam(p)]
 	})
+	// Key the cache by what the shards actually answered (the fan-out
+	// is epoch-checked, so all legs agree), not by the probe: a swap
+	// landing between probe and fan-out must not file the new export
+	// under the old key.
 	rt.cruxEpoch = resps[0].epoch
+	rt.cruxMonth = month
 	rt.cruxRecords = recs
 	return recs, rt.cruxEpoch, nil
 }

@@ -324,7 +324,7 @@ func (s *Server) handleDist(w http.ResponseWriter, r *http.Request) {
 // handleSite serves a per-site popularity profile. Besides the
 // required ?domain, it honours the same optional query params as the
 // other endpoints: ?platform= (windows|android), ?metric=
-// (loads|time), and ?month= (2021-09 … 2022-02, defaulting to the
+// (loads|time), and ?month= (2021-09 … 2022-08, defaulting to the
 // analysis month). On a shard slice the ranks cover only the owned
 // (country, month) cells — the router merges slices from every shard
 // and recomputes the curve over the full roster.

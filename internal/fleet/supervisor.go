@@ -349,14 +349,12 @@ func (s *Supervisor) Status() []ReplicaStatus {
 // ValidateSnapshot is the swap gate: a scratch decode of the artifact
 // on the supervisor, before any replica is asked to load it. A fleet
 // must never discover a corrupt snapshot one replica at a time,
-// mid-rollout.
+// mid-rollout. Delta artifacts (.wwbd) resolve their full base chain
+// here — a delta whose base is missing, corrupt, or the wrong lineage
+// is rejected at the gate, exactly as a replica's loader would reject
+// it.
 func ValidateSnapshot(path string) (*chrome.SnapshotInfo, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	_, info, err := chrome.DecodeAny(f)
+	_, info, err := chrome.DecodeAnyPath(path)
 	if err != nil {
 		return nil, err
 	}
@@ -414,9 +412,28 @@ func (s *Supervisor) Swap(ctx context.Context, path string) (*SwapOutcome, error
 		return &SwapOutcome{Data: path, Quarantined: bad},
 			fmt.Errorf("validation gate rejected %s: %w", path, err)
 	}
-	log.Printf("validated %s: format %v v%d (tool %q, world seed %d, scale %q)",
-		path, info.Format, info.Version, info.Provenance.Tool,
+	log.Printf("validated %s: format %v v%d (chain %d, tool %q, world seed %d, scale %q)",
+		path, info.Format, info.Version, info.Chain, info.Provenance.Tool,
 		info.Provenance.WorldSeed, info.Provenance.Scale)
+
+	// Provenance gate: the proposed artifact must descend from the same
+	// world as the one the fleet currently serves. A delta's binding to
+	// its own base is already checked by the chain resolution above;
+	// this check catches the remaining mistake — rolling a healthy
+	// fleet onto a perfectly valid snapshot of a different universe.
+	// JSON artifacts carry no provenance and are exempt.
+	if prev := s.CurrentData(); prev != "" && prev != path && info.Provenance.Tool != "" {
+		if prevInfo, perr := ValidateSnapshot(prev); perr != nil {
+			log.Printf("provenance gate skipped: current artifact %s unreadable: %v", prev, perr)
+		} else if prevInfo.Provenance.Tool != "" &&
+			(prevInfo.Provenance.WorldSeed != info.Provenance.WorldSeed ||
+				prevInfo.Provenance.Scale != info.Provenance.Scale) {
+			return &SwapOutcome{Data: path}, fmt.Errorf(
+				"provenance gate rejected %s: world seed %d scale %q does not match the running fleet's %s (seed %d scale %q)",
+				path, info.Provenance.WorldSeed, info.Provenance.Scale,
+				prev, prevInfo.Provenance.WorldSeed, prevInfo.Provenance.Scale)
+		}
+	}
 
 	epoch, err := s.maxEpoch(ctx)
 	if err != nil {

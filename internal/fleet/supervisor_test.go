@@ -34,15 +34,11 @@ func writeSnapshot(t *testing.T, dir, name string, ds *chrome.Dataset) string {
 	return path
 }
 
-// fileLoader is the replicas' snapshot loader: a real file decode, so
-// the supervisor tests exercise the same load path production does.
+// fileLoader is the replicas' snapshot loader: a real file decode
+// through the same path-aware resolver production uses, so the tests
+// cover .wwb snapshots and .wwbd delta chains alike.
 func fileLoader(path string) (*chrome.Dataset, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	ds, _, err := chrome.DecodeAny(f)
+	ds, _, err := chrome.DecodeAnyPath(path)
 	return ds, err
 }
 

@@ -1,6 +1,9 @@
 package world
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Platform is a Chrome client platform. The paper restricts analysis
 // to the two largest platforms (Section 3.1).
@@ -108,6 +111,43 @@ func ValidMetric(m int) bool { return m >= int(PageLoads) && m <= int(TimeOnPage
 
 // ValidMonth reports whether an integer encodes a simulated month.
 func ValidMonth(m int) bool { return m >= 0 && m < NumMonths }
+
+// MonthByName resolves a month rendered by Month.String
+// ("2021-09" … "2022-08"); ok is false for anything else.
+func MonthByName(s string) (Month, bool) {
+	for _, m := range ExtendedMonths {
+		if m.String() == s {
+			return m, true
+		}
+	}
+	return 0, false
+}
+
+// MonthRange parses a contiguous month span "START..END" (both ends
+// rendered by Month.String and inclusive, e.g. "2021-09..2022-03")
+// into the months it covers, in order.
+func MonthRange(s string) ([]Month, error) {
+	lo, hi, ok := strings.Cut(s, "..")
+	if !ok {
+		return nil, fmt.Errorf("month range %q: want START..END, e.g. 2021-09..2022-03", s)
+	}
+	first, ok := MonthByName(lo)
+	if !ok {
+		return nil, fmt.Errorf("month range %q: unknown start %q (want 2021-09 … 2022-08)", s, lo)
+	}
+	last, ok := MonthByName(hi)
+	if !ok {
+		return nil, fmt.Errorf("month range %q: unknown end %q (want 2021-09 … 2022-08)", s, hi)
+	}
+	if last < first {
+		return nil, fmt.Errorf("month range %q: end precedes start", s)
+	}
+	span := make([]Month, 0, int(last-first)+1)
+	for m := first; m <= last; m++ {
+		span = append(span, m)
+	}
+	return span, nil
+}
 
 // IsDecember reports whether m is the anomalous holiday month the
 // paper calls out in Section 4.5.

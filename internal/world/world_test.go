@@ -336,3 +336,38 @@ func TestMonthStringAndHelpers(t *testing.T) {
 		t.Error("out-of-range stringers should not be empty")
 	}
 }
+
+func TestMonthByNameAndRange(t *testing.T) {
+	for _, m := range ExtendedMonths {
+		if got, ok := MonthByName(m.String()); !ok || got != m {
+			t.Errorf("MonthByName(%q) = %v, %v", m.String(), got, ok)
+		}
+	}
+	for _, bad := range []string{"", "2020-01", "2022-13", "march"} {
+		if _, ok := MonthByName(bad); ok {
+			t.Errorf("MonthByName(%q) resolved", bad)
+		}
+	}
+
+	span, err := MonthRange("2021-09..2022-03")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Month{Sep2021, Oct2021, Nov2021, Dec2021, Jan2022, Feb2022, Mar2022}
+	if len(span) != len(want) {
+		t.Fatalf("span %v, want %v", span, want)
+	}
+	for i := range want {
+		if span[i] != want[i] {
+			t.Fatalf("span %v, want %v", span, want)
+		}
+	}
+	if one, err := MonthRange("2022-03..2022-03"); err != nil || len(one) != 1 || one[0] != Mar2022 {
+		t.Errorf("single-month range: %v, %v", one, err)
+	}
+	for _, bad := range []string{"2022-03", "2022-03..2022-01", "2020-01..2022-01", "2021-09..never"} {
+		if _, err := MonthRange(bad); err == nil {
+			t.Errorf("MonthRange(%q) accepted", bad)
+		}
+	}
+}
